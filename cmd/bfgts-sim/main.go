@@ -1,0 +1,151 @@
+// Command bfgts-sim runs the paper's experiments on the simulator and
+// prints the regenerated tables and figure data.
+//
+// Usage:
+//
+//	bfgts-sim -list
+//	bfgts-sim -exp fig4a [-cores 16] [-tpc 4] [-seed 1] [-scale 1.0]
+//	bfgts-sim -exp all
+//	bfgts-sim -bench intruder -manager BFGTS-HW -bloom 2048   (single run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	bench := flag.String("bench", "", "single run: benchmark name")
+	manager := flag.String("manager", "BFGTS-HW", "single run: manager name")
+	bloom := flag.Int("bloom", 2048, "single run: Bloom filter bits for BFGTS variants")
+	cores := flag.Int("cores", 16, "number of CPUs")
+	tpc := flag.Int("tpc", 4, "threads per CPU")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	scale := flag.Float64("scale", 1.0, "transaction-count scale factor")
+	traceFile := flag.String("trace", "", "single run: write a JSONL event trace to this file")
+	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale}
+	r := harness.NewRunner(cfg)
+
+	if *bench != "" {
+		singleRun(cfg, *bench, *manager, *bloom, *traceFile)
+		return
+	}
+
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "need -exp, -bench or -list; see -h")
+		os.Exit(2)
+	}
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			fmt.Println(e.Run(r).Render())
+		}
+		return
+	}
+	e, ok := harness.ExperimentByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+	if *seeds > 1 {
+		fmt.Println(harness.MultiSeed(e, cfg, *seeds).Render())
+		return
+	}
+	fmt.Println(e.Run(r).Render())
+}
+
+func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile string) {
+	r := harness.NewRunner(cfg)
+	f, ok := stamp.ByName(bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", bench)
+		os.Exit(1)
+	}
+	spec, ok := specByName(manager, bloom)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown manager %q\n", manager)
+		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if traceFile != "" {
+		rec = &trace.Recorder{Cap: 4 << 20}
+	}
+	res := r.RunTraced(f, spec, rec)
+	fmt.Printf("%s on %s: speedup %.2fx over one core, contention %.1f%%\n",
+		res.ManagerName, res.WorkloadName, r.Speedup(f, res), res.ContentionPct())
+	if rec != nil {
+		out, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := rec.WriteJSONL(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s -> %s\n", rec.Summary(), traceFile)
+	}
+	fmt.Printf("commits %d  aborts %d  makespan %.2f Mcycles\n",
+		res.Commits, res.Aborts, float64(res.Makespan)/1e6)
+	b := res.Breakdown
+	total := float64(b.Total())
+	for _, c := range []sim.Category{sim.CatNonTx, sim.CatKernel, sim.CatTx, sim.CatAbort, sim.CatScheduling, sim.CatIdle} {
+		fmt.Printf("  %-11s %5.1f%%\n", c, 100*float64(b[c])/total)
+	}
+	fmt.Printf("attempts per committed execution: mean %.2f max %.0f\n",
+		res.AttemptsPerCommit.Mean(), res.AttemptsPerCommit.Max())
+	for s := range res.Latency {
+		h := &res.Latency[s]
+		if h.N() == 0 {
+			continue
+		}
+		fmt.Printf("  tx%d latency: mean %.0f cyc, p50 <= %d, p99 <= %d  [%s]\n",
+			s, h.Mean(), h.Percentile(50), h.Percentile(99), h.Sparkline())
+	}
+}
+
+func specByName(name string, bloom int) (harness.ManagerSpec, bool) {
+	for _, m := range harness.BaselineSpecs() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	modes := map[string]sched.BFGTSMode{
+		"BFGTS-SW":         sched.BFGTSSW,
+		"BFGTS-HW":         sched.BFGTSHW,
+		"BFGTS-HW/Backoff": sched.BFGTSHWBackoff,
+		"BFGTS-NoOverhead": sched.BFGTSNoOverhead,
+	}
+	mode, ok := modes[name]
+	if !ok {
+		return harness.ManagerSpec{}, false
+	}
+	return harness.ManagerSpec{
+		Name: name,
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			cfg.BloomBits = bloom
+			return sched.NewBFGTS(env, mode, cfg)
+		},
+	}, true
+}

@@ -1,0 +1,84 @@
+// Command txprofile regenerates the paper's Table 1: for each STAMP
+// benchmark it runs the simulator under the Backoff manager with exact
+// (Eq. 1) similarity profiling enabled and prints the observed conflict
+// graph between static transactions and each transaction's measured
+// similarity. It also reports the backoff contention rate (the Backoff
+// column of Table 4) as a calibration aid.
+//
+// Usage:
+//
+//	txprofile [-bench name] [-cores 16] [-tpc 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (default: all)")
+	cores := flag.Int("cores", 16, "number of CPUs")
+	tpc := flag.Int("tpc", 4, "threads per CPU")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	scale := flag.Float64("scale", 1.0, "transaction-count scale factor")
+	flag.Parse()
+
+	factories := stamp.All()
+	if *bench != "" {
+		f, ok := stamp.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		factories = []workload.Factory{f}
+	}
+
+	for _, f := range factories {
+		w := f.New(int(float64(f.Txs) * *scale))
+		r := sim.NewRunner(sim.RunConfig{
+			Cores:             *cores,
+			ThreadsPerCore:    *tpc,
+			Seed:              *seed,
+			Workload:          w,
+			NewManager:        func(env sched.Env) sched.Manager { return sched.NewBackoff(env) },
+			ProfileSimilarity: true,
+			MaxCycles:         20_000_000_000,
+		})
+		res := r.Run()
+		printProfile(res)
+	}
+}
+
+func printProfile(res *sim.Result) {
+	fmt.Printf("=== %s ===\n", res.WorkloadName)
+	fmt.Printf("commits %d  aborts %d  contention %.1f%%  makespan %.2f Mcyc%s\n",
+		res.Commits, res.Aborts, res.ContentionPct(), float64(res.Makespan)/1e6,
+		timeoutNote(res))
+	fmt.Println("Tx  ConflictGraph        Similarity  Commits")
+	n := len(res.ConflictMatrix)
+	for s := 0; s < n; s++ {
+		var peers []string
+		for o := 0; o < n; o++ {
+			if res.ConflictMatrix[s][o] > 0 {
+				peers = append(peers, fmt.Sprintf("%d", o))
+			}
+		}
+		fmt.Printf("%2d: %-20s %10.2f %8d\n",
+			s, strings.Join(peers, " "), res.Similarity[s], res.CommitsPerStx[s])
+	}
+	fmt.Println()
+}
+
+func timeoutNote(res *sim.Result) string {
+	if res.TimedOut {
+		return "  [TIMED OUT]"
+	}
+	return ""
+}

@@ -1,0 +1,71 @@
+package bloom
+
+import "math"
+
+// This file implements the set-cardinality arithmetic the paper borrows
+// from Michael et al. ("Improving distributed join efficiency with extended
+// bloom filter operations"):
+//
+//	Eq. 2:  S⁻¹(t) = ln(1 − t/m) / (k · ln(1 − 1/m))
+//	Eq. 3:  |S₁∩S₂| ≈ S⁻¹(t₁) + S⁻¹(t₂) − S⁻¹(t_{1∪2})
+//	Eq. 4:  Similarity = |RWSet_{t−1} ∩ RWSet_t| / AvgRWSetSize
+//
+// calcSim in the paper's Example 4 is the literal composition of these.
+
+// EstimateCardinality implements Equation 2 for this filter: an estimate of
+// how many distinct keys were inserted, derived from the fill ratio. When
+// the filter is saturated (every bit set) the estimate diverges; we return
+// the asymptote capped at m, which is the largest set a filter of m bits
+// can meaningfully witness.
+func (f *Filter) EstimateCardinality() float64 {
+	return cardinalityFromPopCount(f.PopCount(), int(f.m), int(f.k))
+}
+
+// cardinalityFromPopCount is Equation 2 as a pure function of (t, m, k).
+func cardinalityFromPopCount(t, m, k int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= m {
+		return float64(m)
+	}
+	num := math.Log1p(-float64(t) / float64(m))
+	den := float64(k) * math.Log1p(-1/float64(m))
+	return num / den
+}
+
+// EstimateIntersection implements Equation 3: the estimated cardinality of
+// the intersection of the sets encoded by f and other.
+//
+// The estimate can be slightly negative when the true intersection is empty
+// (the three estimates carry independent noise); it is clamped at zero
+// because a set cannot have negative size.
+func (f *Filter) EstimateIntersection(other *Filter) float64 {
+	f.mustMatch(other)
+	est := f.EstimateCardinality() + other.EstimateCardinality() - f.Union(other).EstimateCardinality()
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// SimilarityOps reports how many population counts and logarithm
+// evaluations one similarity calculation costs for a filter of this
+// geometry. The hardware cost model multiplies these by the popcnt and
+// fyl2x instruction latencies from Table 2. A similarity calculation pop-
+// counts three filters (new, old, union) one 64-bit word at a time and
+// evaluates ln(1−t/m) once per filter; the constant denominator k·ln(1−1/m)
+// is precomputed.
+func (f *Filter) SimilarityOps() (popcnts, logs int) {
+	return 3 * len(f.words), 3
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

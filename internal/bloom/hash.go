@@ -1,0 +1,31 @@
+// Package bloom implements the Bloom filter machinery BFGTS uses to
+// characterize transaction read/write sets: insertion and membership via
+// double hashing, bitwise union/intersection, and the set-cardinality
+// estimators from Michael et al. that the paper adopts (Equations 2 and 3)
+// to derive the "Similarity" metric (Equation 4).
+//
+// Conflict detection in the simulated HTM uses exact ("perfect") signatures,
+// matching the paper's methodology; Bloom filters appear only in the BFGTS
+// commit-time bookkeeping. Both are exposed behind the Signature interface
+// so the BFGTS-NoOverhead configuration can swap in exact sets.
+package bloom
+
+// mix64 is the splitmix64 finalizer. It turns a line address (or any 64-bit
+// key) into a well-distributed hash from which the double-hashing pair is
+// drawn.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashPair derives the two independent hash values used by the Kirsch-
+// Mitzenmacher double-hashing scheme: index_i = h1 + i*h2 (mod m). h2 is
+// forced odd so that, for power-of-two m, the probe sequence cycles through
+// all bit positions.
+func hashPair(key uint64) (h1, h2 uint64) {
+	h1 = mix64(key)
+	h2 = mix64(key^0xa5a5a5a5a5a5a5a5) | 1
+	return h1, h2
+}

@@ -1,0 +1,58 @@
+// Package core implements the BFGTS runtime described in Section 4 of the
+// paper: the per-sTxID confidence tables, the per-dTxID transaction
+// statistics (average size, similarity, waiting-on), the Bloom-filter table
+// of most recent read/write sets, and the three scheduling subroutines —
+// suspendTx (Example 2), txConflict (Example 3) and commitTx/updateBloom/
+// calcSim (Example 4).
+//
+// Every routine returns the number of cycles it would cost on the paper's
+// hardware (Table 2: 2-cycle popcnt, 13–15-cycle fyl2x, 1-IPC cores), so
+// the simulator can charge scheduling overhead faithfully. The
+// BFGTS-NoOverhead configuration reports one cycle for everything and uses
+// perfect (exact-set) signatures.
+package core
+
+// CostModel holds the instruction and routine latencies used to price the
+// software runtime. Cycles at 2 GHz.
+type CostModel struct {
+	Popcnt int64 // popcnt instruction (Table 2: 2 cycles)
+	Fyl2x  int64 // floating-point log instruction (Table 2: 15 cycles)
+	WordOp int64 // one 64-bit ALU/load op on cached data
+	Call   int64 // function-call + bookkeeping overhead of a runtime routine
+	// ScanEntry is the software cost of one CPU-table entry during the
+	// begin-time scan: load the remote dTxID, shift to an sTxID, index the
+	// confidence table (frequently bounced between cores, so part of the
+	// cost is coherence), compare against the threshold.
+	ScanEntry int64
+	// ConfUpdate is the cost of one read-modify-write of a confidence
+	// entry, including the coherence traffic it triggers.
+	ConfUpdate int64
+	// NoOverhead, when set, makes every routine report 1 cycle: the
+	// BFGTS-NoOverhead limit study.
+	NoOverhead bool
+}
+
+// DefaultCosts returns the cost model matching the paper's Table 2 setup.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Popcnt:     2,
+		Fyl2x:      15,
+		WordOp:     1,
+		Call:       40,
+		ScanEntry:  18,
+		ConfUpdate: 25,
+	}
+}
+
+// NoOverheadCosts returns the cost model for BFGTS-NoOverhead.
+func NoOverheadCosts() CostModel {
+	return CostModel{NoOverhead: true, Popcnt: 1, Fyl2x: 1, WordOp: 1, Call: 1, ScanEntry: 1, ConfUpdate: 1}
+}
+
+// flat returns c, or 1 cycle under NoOverhead.
+func (cm CostModel) flat(c int64) int64 {
+	if cm.NoOverhead {
+		return 1
+	}
+	return c
+}

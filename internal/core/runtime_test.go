@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testRuntime() *Runtime {
+	cfg := DefaultConfig(4, 3)
+	cfg.SimInterval = 1 // update similarity on every commit unless a test overrides
+	cfg.SmallTxLines = 0
+	return NewRuntime(cfg, DefaultCosts())
+}
+
+func TestDTxRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(8, 5)
+	for th := 0; th < 8; th++ {
+		for s := 0; s < 5; s++ {
+			d := cfg.DTx(th, s)
+			gt, gs := cfg.SplitDTx(d)
+			if gt != th || gs != s {
+				t.Fatalf("SplitDTx(DTx(%d,%d)) = (%d,%d)", th, s, gt, gs)
+			}
+		}
+	}
+}
+
+func TestConfidenceStartsZero(t *testing.T) {
+	r := testRuntime()
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if r.Conf(a, b) != 0 {
+				t.Fatalf("initial Conf(%d,%d) = %v", a, b, r.Conf(a, b))
+			}
+		}
+	}
+}
+
+func TestTxConflictRaisesConfidenceSymmetrically(t *testing.T) {
+	r := testRuntime()
+	d0, d1 := r.Config().DTx(0, 0), r.Config().DTx(1, 1)
+	cyc := r.TxConflict(d0, d1)
+	if cyc <= 0 {
+		t.Fatal("TxConflict reported non-positive cost")
+	}
+	if r.Conf(0, 1) == 0 || r.Conf(0, 1) != r.Conf(1, 0) {
+		t.Fatalf("confidence after conflict: (0,1)=%v (1,0)=%v", r.Conf(0, 1), r.Conf(1, 0))
+	}
+}
+
+func TestConfidenceClamped(t *testing.T) {
+	r := testRuntime()
+	d0, d1 := r.Config().DTx(0, 0), r.Config().DTx(1, 1)
+	for i := 0; i < 100; i++ {
+		r.TxConflict(d0, d1)
+	}
+	if r.Conf(0, 1) > 1 {
+		t.Fatalf("confidence exceeded 1: %v", r.Conf(0, 1))
+	}
+	for i := 0; i < 1000; i++ {
+		r.SuspendTx(d0, d1)
+	}
+	if r.Conf(0, 1) < 0 {
+		t.Fatalf("confidence went negative: %v", r.Conf(0, 1))
+	}
+}
+
+func TestSuspendDecaysConfidenceAndRecordsWait(t *testing.T) {
+	r := testRuntime()
+	d0, d1 := r.Config().DTx(0, 0), r.Config().DTx(1, 1)
+	r.TxConflict(d0, d1)
+	before := r.Conf(0, 1)
+	dec := r.SuspendTx(d0, d1)
+	if r.Conf(0, 1) >= before {
+		t.Fatalf("suspend did not decay confidence: %v -> %v", before, r.Conf(0, 1))
+	}
+	if r.WaitingOn(d0) != d1 {
+		t.Fatalf("WaitingOn = %d, want %d", r.WaitingOn(d0), d1)
+	}
+	if dec.Cycles <= 0 {
+		t.Fatal("suspend cost non-positive")
+	}
+}
+
+func TestSuspendYieldDependsOnWaitedSize(t *testing.T) {
+	cfg := DefaultConfig(4, 2)
+	cfg.SmallTxLines = 10
+	cfg.SimInterval = 1
+	r := NewRuntime(cfg, DefaultCosts())
+	big, small := cfg.DTx(1, 0), cfg.DTx(2, 1)
+	// Give `big` a large average size and `small` a tiny one via commits.
+	commitWithLines(r, big, 40)
+	commitWithLines(r, small, 2)
+
+	if dec := r.SuspendTx(cfg.DTx(0, 0), big); !dec.Yield {
+		t.Fatal("waiting on a large transaction should yield")
+	}
+	if dec := r.SuspendTx(cfg.DTx(0, 0), small); dec.Yield {
+		t.Fatal("waiting on a small transaction should spin-stall")
+	}
+}
+
+// testLine fabricates a cache-line address in a per-dtx region.
+func testLine(dtx, i int) uint64 {
+	return uint64(dtx)*0x100000 + uint64(i)*64
+}
+
+func commitWithLines(r *Runtime, dtx, n int) CommitResult {
+	lines := func(emit func(uint64)) {
+		for i := 0; i < n; i++ {
+			emit(testLine(dtx, i))
+		}
+	}
+	// Tests treat half the footprint as written.
+	writes := func(emit func(uint64)) {
+		for i := 0; i < (n+1)/2; i++ {
+			emit(testLine(dtx, i))
+		}
+	}
+	return r.CommitTx(dtx, lines, writes, n)
+}
+
+func TestCommitUpdatesAvgSizeEWMA(t *testing.T) {
+	r := testRuntime()
+	d := r.Config().DTx(0, 0)
+	commitWithLines(r, d, 10)
+	if r.AvgSize(d) != 10 {
+		t.Fatalf("first commit avg = %v, want 10", r.AvgSize(d))
+	}
+	commitWithLines(r, d, 20)
+	if r.AvgSize(d) != 15 {
+		t.Fatalf("second commit avg = %v, want 15 (0.5 EWMA)", r.AvgSize(d))
+	}
+}
+
+func TestSimilarityHighForIdenticalSets(t *testing.T) {
+	r := testRuntime()
+	d := r.Config().DTx(0, 0)
+	for i := 0; i < 6; i++ {
+		commitWithLines(r, d, 30) // identical address list each time
+	}
+	if sim := r.Similarity(d); sim < 0.5 {
+		t.Fatalf("similarity after repeated identical sets = %v, want high", sim)
+	}
+}
+
+func TestSimilarityLowForDisjointSets(t *testing.T) {
+	r := testRuntime()
+	d := r.Config().DTx(0, 0)
+	base := uint64(0)
+	for i := 0; i < 6; i++ {
+		start := base
+		lines := func(emit func(uint64)) {
+			for a := start; a < start+30; a++ {
+				emit(a * 977) // spread lines; disjoint across commits
+			}
+		}
+		r.CommitTx(d, lines, lines, 30)
+		base += 30
+	}
+	if sim := r.Similarity(d); sim > 0.25 {
+		t.Fatalf("similarity for disjoint sets = %v, want near 0", sim)
+	}
+}
+
+func TestSmallTxSimilarityBatching(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.SmallTxLines = 10
+	cfg.SimInterval = 5
+	r := NewRuntime(cfg, DefaultCosts())
+	d := cfg.DTx(0, 0)
+	updated := 0
+	for i := 0; i < 20; i++ {
+		if commitWithLines(r, d, 3).SimUpdated {
+			updated++
+		}
+	}
+	if updated > 5 {
+		t.Fatalf("small tx similarity updated %d/20 times, want <= 5 with interval 5", updated)
+	}
+	if updated == 0 {
+		t.Fatal("similarity never updated despite interval passing")
+	}
+}
+
+func TestLargeTxSimilarityEveryCommit(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.SmallTxLines = 10
+	cfg.SimInterval = 20
+	r := NewRuntime(cfg, DefaultCosts())
+	d := cfg.DTx(0, 0)
+	updated := 0
+	for i := 0; i < 10; i++ {
+		if commitWithLines(r, d, 50).SimUpdated {
+			updated++
+		}
+	}
+	if updated != 10 {
+		t.Fatalf("large tx similarity updated %d/10 times, want every commit", updated)
+	}
+}
+
+func TestCommitValidatesSerializationPrediction(t *testing.T) {
+	// Perfect signatures: this test checks the validation logic exactly;
+	// Bloom estimator noise on small sets is covered in package bloom.
+	pcfg := DefaultConfig(4, 3)
+	pcfg.SimInterval = 1
+	pcfg.SmallTxLines = 0
+	pcfg.Perfect = true
+	r := NewRuntime(pcfg, DefaultCosts())
+	cfg := r.Config()
+	d0, d1 := cfg.DTx(0, 0), cfg.DTx(1, 1)
+	// Seed d1's signature history.
+	commitWithLines(r, d1, 20)
+	// d0 serialized behind d1; raise initial confidence to observe decay/growth.
+	r.TxConflict(d0, d1)
+	r.SuspendTx(d0, d1)
+	before := r.Conf(0, 1)
+	// d0 commits with the SAME lines d1 used (and writes half of them):
+	// intersection non-null, confidence must rise.
+	sameLines := func(emit func(uint64)) {
+		for i := 0; i < 20; i++ {
+			emit(testLine(d1, i))
+		}
+	}
+	sameWrites := func(emit func(uint64)) {
+		for i := 0; i < 10; i++ {
+			emit(testLine(d1, i))
+		}
+	}
+	r.CommitTx(d0, sameLines, sameWrites, 20)
+	if r.Conf(0, 1) <= before {
+		t.Fatalf("overlapping serialized commit did not raise confidence (%v -> %v)",
+			before, r.Conf(0, 1))
+	}
+	if r.WaitingOn(d0) != NoTx {
+		t.Fatal("waitingOn not cleared by commit")
+	}
+
+	// Now the disjoint case must decay confidence. Seed it well above zero
+	// first so the decay is observable despite the clamp at 0.
+	for i := 0; i < 5; i++ {
+		r.TxConflict(d0, d1)
+	}
+	r.SuspendTx(d0, d1)
+	before = r.Conf(0, 1)
+	if before <= 0 {
+		t.Fatal("setup failed to raise confidence above zero")
+	}
+	commitWithLines(r, d0, 20) // d0's own lines, disjoint from d1's
+	if r.Conf(0, 1) >= before {
+		t.Fatalf("disjoint serialized commit did not decay confidence (%v -> %v)",
+			before, r.Conf(0, 1))
+	}
+}
+
+func TestPredictSW(t *testing.T) {
+	r := testRuntime()
+	cfg := r.Config()
+	d1 := cfg.DTx(1, 1)
+	// No confidence: no conflict predicted.
+	table := []int{NoTx, d1, NoTx, NoTx}
+	p := r.PredictSW(0, table, 0)
+	if p.Conflict {
+		t.Fatal("predicted conflict with zero confidence")
+	}
+	if p.Cycles <= 0 {
+		t.Fatal("prediction cost non-positive")
+	}
+	// Saturate confidence between stx 0 and stx 1.
+	for i := 0; i < 20; i++ {
+		r.TxConflict(cfg.DTx(0, 0), d1)
+	}
+	p = r.PredictSW(0, table, 0)
+	if !p.Conflict || p.WaitDTx != d1 {
+		t.Fatalf("prediction = %+v, want conflict with %d", p, d1)
+	}
+	// The predictor must skip its own CPU slot.
+	p = r.PredictSW(0, []int{d1, NoTx, NoTx, NoTx}, 0)
+	if p.Conflict {
+		t.Fatal("predictor considered its own CPU slot")
+	}
+}
+
+func TestNoOverheadCostsAreOneCycle(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	cfg.Perfect = true
+	r := NewRuntime(cfg, NoOverheadCosts())
+	d0, d1 := cfg.DTx(0, 0), cfg.DTx(1, 1)
+	if c := r.TxConflict(d0, d1); c != 1 {
+		t.Fatalf("NoOverhead TxConflict cost = %d, want 1", c)
+	}
+	if dec := r.SuspendTx(d0, d1); dec.Cycles != 1 {
+		t.Fatalf("NoOverhead Suspend cost = %d, want 1", dec.Cycles)
+	}
+	if res := commitWithLines(r, d0, 30); res.Cycles != 1 {
+		t.Fatalf("NoOverhead Commit cost = %d, want 1", res.Cycles)
+	}
+	if p := r.PredictSW(0, []int{NoTx}, 1); p.Cycles != 1 {
+		t.Fatalf("NoOverhead Predict cost = %d, want 1", p.Cycles)
+	}
+}
+
+func TestPerfectSignaturesExactSimilarity(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Perfect = true
+	cfg.SimInterval = 1
+	cfg.SmallTxLines = 0
+	r := NewRuntime(cfg, NoOverheadCosts())
+	d := cfg.DTx(0, 0)
+	commitWithLines(r, d, 10)
+	commitWithLines(r, d, 10) // identical set: exact similarity 1, EWMA from the 0.5 prior
+	if got := r.Similarity(d); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("similarity = %v, want exactly 0.75 (EWMA of 0.5 prior and 1)", got)
+	}
+}
+
+func TestCommitCostGrowsWithBloomSize(t *testing.T) {
+	costAt := func(bits int) int64 {
+		cfg := DefaultConfig(2, 1)
+		cfg.BloomBits = bits
+		cfg.SimInterval = 1
+		cfg.SmallTxLines = 0
+		r := NewRuntime(cfg, DefaultCosts())
+		d := cfg.DTx(0, 0)
+		commitWithLines(r, d, 30)
+		return commitWithLines(r, d, 30).Cycles
+	}
+	c512, c8192 := costAt(512), costAt(8192)
+	if c8192 <= c512 {
+		t.Fatalf("8192-bit commit (%d cyc) not more expensive than 512-bit (%d cyc)", c8192, c512)
+	}
+	// 8192 bits = 128 words: 3 popcount passes at 2 cycles each dominate.
+	if c8192-c512 < 300 {
+		t.Fatalf("bloom size cost delta = %d cycles, implausibly small", c8192-c512)
+	}
+}
+
+func TestAliasingFoldsIndices(t *testing.T) {
+	cfg := DefaultConfig(2, 8)
+	cfg.AliasBuckets = 4
+	r := NewRuntime(cfg, DefaultCosts())
+	d0, d5 := cfg.DTx(0, 1), cfg.DTx(1, 5) // 5 aliases to 1
+	r.TxConflict(d0, d5)
+	if r.Conf(1, 5) != r.Conf(1, 1) {
+		t.Fatalf("aliased confidence differs: Conf(1,5)=%v Conf(1,1)=%v", r.Conf(1, 5), r.Conf(1, 1))
+	}
+	if r.ConfidenceTableBytes() != 16 {
+		t.Fatalf("aliased table = %d bytes, want 16", r.ConfidenceTableBytes())
+	}
+}
+
+func TestConfidenceTableBytes(t *testing.T) {
+	r := testRuntime() // M = 3
+	if r.ConfidenceTableBytes() != 9 {
+		t.Fatalf("table bytes = %d, want 9", r.ConfidenceTableBytes())
+	}
+}
+
+// Property: confidence always stays within [0, 1] under arbitrary
+// interleavings of conflicts, suspends and commits.
+func TestPropertyConfidenceBounded(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		cfg := DefaultConfig(3, 3)
+		cfg.SimInterval = 1
+		r := NewRuntime(cfg, DefaultCosts())
+		for i, op := range ops {
+			a := cfg.DTx(int(op)%3, int(op/3)%3)
+			b := cfg.DTx(int(op/9)%3, int(op/27)%3)
+			switch i % 3 {
+			case 0:
+				r.TxConflict(a, b)
+			case 1:
+				r.SuspendTx(a, b)
+			case 2:
+				commitWithLines(r, a, int(op)%40+1)
+			}
+		}
+		for x := 0; x < 3; x++ {
+			for y := 0; y < 3; y++ {
+				if c := r.Conf(x, y); c < 0 || c > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

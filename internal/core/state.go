@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// State is a portable snapshot of a BFGTS runtime's learned scheduling
+// knowledge: the confidence table plus per-dTxID statistics (similarity
+// and average size). Bloom-filter contents are deliberately excluded —
+// they describe the *last* execution, which is stale by definition across
+// runs — so a warm-started runtime re-seeds signatures on first commit but
+// predicts from day one.
+//
+// Persisting state lets a deployment skip the learning phase ("warm
+// start"); the abl-warmstart experiment quantifies what that is worth.
+type State struct {
+	NumStatic  int       `json:"num_static"`
+	NumThreads int       `json:"num_threads"`
+	Conf       []float64 `json:"conf"`
+	Sims       []float64 `json:"sims"`
+	AvgSizes   []float64 `json:"avg_sizes"`
+}
+
+// ExportState snapshots the runtime's learned knowledge.
+func (r *Runtime) ExportState() *State {
+	s := &State{
+		NumStatic:  r.cfg.NumStatic,
+		NumThreads: r.cfg.NumThreads,
+		Conf:       append([]float64(nil), r.conf...),
+		Sims:       make([]float64, len(r.stats)),
+		AvgSizes:   make([]float64, len(r.stats)),
+	}
+	for i := range r.stats {
+		s.Sims[i] = r.stats[i].sim
+		s.AvgSizes[i] = r.stats[i].avgSize
+	}
+	return s
+}
+
+// ImportState overwrites the runtime's learned knowledge from a snapshot.
+// The snapshot's shape must match the runtime's configuration.
+func (r *Runtime) ImportState(s *State) error {
+	if s.NumStatic != r.cfg.NumStatic || s.NumThreads != r.cfg.NumThreads {
+		return fmt.Errorf("core: state shape (%d static, %d threads) does not match runtime (%d, %d)",
+			s.NumStatic, s.NumThreads, r.cfg.NumStatic, r.cfg.NumThreads)
+	}
+	if len(s.Conf) != len(r.conf) || len(s.Sims) != len(r.stats) || len(s.AvgSizes) != len(r.stats) {
+		return fmt.Errorf("core: state arrays do not match runtime dimensions")
+	}
+	copy(r.conf, s.Conf)
+	for i := range r.stats {
+		r.stats[i].sim = clampUnit(s.Sims[i])
+		if s.AvgSizes[i] >= 0 {
+			r.stats[i].avgSize = s.AvgSizes[i]
+		}
+		if r.stats[i].avgSize > 0 {
+			// A warm-started slot has meaningful history even though its
+			// signature is gone; the first commit will re-seed it.
+			r.stats[i].commits = 1
+		}
+	}
+	return nil
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// WriteJSON serializes the state.
+func (s *State) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadState deserializes a state snapshot.
+func ReadState(r io.Reader) (*State, error) {
+	var s State
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

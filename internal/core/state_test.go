@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func trainedRuntime() *Runtime {
+	cfg := DefaultConfig(4, 3)
+	cfg.SimInterval = 1
+	cfg.SmallTxLines = 0
+	r := NewRuntime(cfg, DefaultCosts())
+	for i := 0; i < 10; i++ {
+		r.TxConflict(cfg.DTx(0, 0), cfg.DTx(1, 1))
+		commitWithLines(r, cfg.DTx(0, 0), 12)
+		commitWithLines(r, cfg.DTx(2, 2), 30)
+	}
+	return r
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src := trainedRuntime()
+	state := src.ExportState()
+
+	var buf bytes.Buffer
+	if err := state.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(4, 3)
+	dst := NewRuntime(cfg, DefaultCosts())
+	if err := dst.ImportState(loaded); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if dst.Conf(a, b) != src.Conf(a, b) {
+				t.Fatalf("Conf(%d,%d) = %v, want %v", a, b, dst.Conf(a, b), src.Conf(a, b))
+			}
+		}
+	}
+	d := cfg.DTx(2, 2)
+	if dst.Similarity(d) != src.Similarity(d) || dst.AvgSize(d) != src.AvgSize(d) {
+		t.Fatal("statistics not restored")
+	}
+}
+
+func TestStateExportIsSnapshot(t *testing.T) {
+	r := trainedRuntime()
+	s := r.ExportState()
+	before := s.Conf[1] // some trained cell
+	r.TxConflict(r.Config().DTx(0, 0), r.Config().DTx(1, 1))
+	if s.Conf[1] != before {
+		t.Fatal("exported state aliases live runtime")
+	}
+}
+
+func TestImportStateShapeMismatch(t *testing.T) {
+	src := NewRuntime(DefaultConfig(4, 3), DefaultCosts())
+	dst := NewRuntime(DefaultConfig(4, 5), DefaultCosts())
+	if err := dst.ImportState(src.ExportState()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	dst2 := NewRuntime(DefaultConfig(8, 3), DefaultCosts())
+	if err := dst2.ImportState(src.ExportState()); err == nil {
+		t.Fatal("thread-count mismatch accepted")
+	}
+}
+
+func TestImportStateClampsSims(t *testing.T) {
+	r := NewRuntime(DefaultConfig(2, 1), DefaultCosts())
+	s := r.ExportState()
+	s.Sims[0] = 7.5
+	s.AvgSizes[0] = 20
+	if err := r.ImportState(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Similarity(r.Config().DTx(0, 0)); got != 1 {
+		t.Fatalf("similarity = %v, want clamped to 1", got)
+	}
+}
+
+func TestReadStateRejectsGarbage(t *testing.T) {
+	if _, err := ReadState(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}

@@ -1,0 +1,517 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(r *Runner) *Report
+}
+
+// Experiments returns the registry, in the paper's presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Conflict graph and measured similarity per static transaction (Table 1)", Table1},
+		{"table4", "Contention rates per contention manager (Table 4)", Table4},
+		{"fig4a", "Speedup over one core, 7 managers x 7 benchmarks (Figure 4a)", Fig4a},
+		{"fig4b", "Percent improvement over PTS (Figure 4b)", Fig4b},
+		{"fig5", "Normalized execution-time breakdown (Figure 5)", Fig5},
+		{"fig6a", "BFGTS-HW Bloom-filter size sensitivity (Figure 6a)", Fig6a},
+		{"fig6b", "BFGTS-HW/Backoff Bloom-filter size sensitivity (Figure 6b)", Fig6b},
+		{"sec532", "Small-transaction similarity-update interval sweep (Section 5.3.2)", Sec532},
+		{"abl-reactive", "Reactive managers (Polite/Karma/Timestamp) vs proactive scheduling", AblReactive},
+		{"abl-warmstart", "Ablation: warm-started confidence tables vs cold start", AblWarmStart},
+		{"abl-scaling", "Core-count scaling of Backoff vs PTS vs BFGTS-HW on a dense benchmark", AblScaling},
+		{"abl-alias", "Ablation: confidence-table aliasing (paper's future-work scheme)", AblAliasing},
+		{"abl-suspend", "Ablation: spin-vs-yield suspend policy (Example 2's size test)", AblSuspend},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fig4Specs returns the seven managers of Figure 4, resolving each BFGTS
+// variant to its best Bloom size per benchmark (the paper reports optimal
+// sizes). The returned closure runs one cell.
+func fig4Cell(r *Runner, f workload.Factory, name string) *sim.Result {
+	switch name {
+	case "Backoff", "PTS", "ATS":
+		for _, m := range BaselineSpecs() {
+			if m.Name == name {
+				return r.Run(f, m, false)
+			}
+		}
+	case "BFGTS-SW":
+		_, res := r.BestBloom(f, sched.BFGTSSW)
+		return res
+	case "BFGTS-HW":
+		_, res := r.BestBloom(f, sched.BFGTSHW)
+		return res
+	case "BFGTS-HW/Backoff":
+		_, res := r.BestBloom(f, sched.BFGTSHWBackoff)
+		return res
+	case "BFGTS-NoOverhead":
+		return r.Run(f, bfgtsSpec(sched.BFGTSNoOverhead, 0, 0), false)
+	}
+	panic("harness: unknown manager " + name)
+}
+
+// Fig4Managers is the manager order of Figure 4.
+var Fig4Managers = []string{
+	"Backoff", "PTS", "ATS",
+	"BFGTS-SW", "BFGTS-HW", "BFGTS-HW/Backoff", "BFGTS-NoOverhead",
+}
+
+// Table1 reproduces the conflict-graph/similarity table.
+func Table1(r *Runner) *Report {
+	rep := &Report{
+		ID:      "table1",
+		Title:   "Conflict graph and per-sTx similarity (Backoff manager, exact Eq. 1 profiling)",
+		Columns: []string{"Benchmark", "Tx", "ConflictGraph", "Similarity"},
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		res := r.Run(f, BaselineSpecs()[0], true)
+		n := len(res.ConflictMatrix)
+		for s := 0; s < n; s++ {
+			var peers []string
+			for o := 0; o < n; o++ {
+				if res.ConflictMatrix[s][o] > 0 {
+					peers = append(peers, fmt.Sprintf("%d", o))
+				}
+			}
+			bench := ""
+			if s == 0 {
+				bench = f.Name()
+			}
+			rep.Rows = append(rep.Rows, []string{
+				bench, fmt.Sprintf("%d:", s), strings.Join(peers, " "),
+				fmt.Sprintf("%.2f", res.Similarity[s]),
+			})
+			rep.Values[fmt.Sprintf("sim_%s_%d", f.Name(), s)] = res.Similarity[s]
+		}
+	}
+	return rep
+}
+
+// Table4 reproduces the contention-rate table.
+func Table4(r *Runner) *Report {
+	rep := &Report{
+		ID:      "table4",
+		Title:   "Contention rates (% of transaction executions aborted)",
+		Columns: append([]string{"Benchmark"}, Fig4Managers...),
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		row := []string{f.Name()}
+		for _, m := range Fig4Managers {
+			res := fig4Cell(r, f, m)
+			row = append(row, fmt.Sprintf("%.1f%%", res.ContentionPct()))
+			rep.Values[fmt.Sprintf("cont_%s_%s", f.Name(), m)] = res.ContentionPct()
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Fig4a reproduces the speedup-over-one-core chart.
+func Fig4a(r *Runner) *Report {
+	rep := &Report{
+		ID:      "fig4a",
+		Title:   "Speedup over one core (16 CPUs, 64 threads)",
+		Columns: append([]string{"Benchmark"}, Fig4Managers...),
+		Values:  map[string]float64{},
+	}
+	sums := make([]float64, len(Fig4Managers))
+	for _, f := range stamp.All() {
+		row := []string{f.Name()}
+		for i, m := range Fig4Managers {
+			sp := r.Speedup(f, fig4Cell(r, f, m))
+			sums[i] += sp
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			rep.Values[fmt.Sprintf("speedup_%s_%s", f.Name(), m)] = sp
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	avg := []string{"AVG"}
+	n := float64(len(stamp.All()))
+	for i, m := range Fig4Managers {
+		avg = append(avg, fmt.Sprintf("%.2f", sums[i]/n))
+		rep.Values["avg_"+m] = sums[i] / n
+	}
+	rep.Rows = append(rep.Rows, avg)
+	return rep
+}
+
+// Fig4b derives percent improvement over PTS from the Figure 4(a) data.
+func Fig4b(r *Runner) *Report {
+	base := Fig4a(r)
+	rep := &Report{
+		ID:      "fig4b",
+		Title:   "Percent improvement over PTS",
+		Columns: append([]string{"Benchmark"}, Fig4Managers...),
+		Values:  map[string]float64{},
+	}
+	sums := make([]float64, len(Fig4Managers))
+	for _, f := range stamp.All() {
+		row := []string{f.Name()}
+		pts := base.Values[fmt.Sprintf("speedup_%s_PTS", f.Name())]
+		for i, m := range Fig4Managers {
+			sp := base.Values[fmt.Sprintf("speedup_%s_%s", f.Name(), m)]
+			imp := 100 * (sp - pts) / pts
+			sums[i] += imp
+			row = append(row, fmt.Sprintf("%+.1f%%", imp))
+			rep.Values[fmt.Sprintf("imp_%s_%s", f.Name(), m)] = imp
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	avg := []string{"AVG"}
+	n := float64(len(stamp.All()))
+	for i, m := range Fig4Managers {
+		avg = append(avg, fmt.Sprintf("%+.1f%%", sums[i]/n))
+		rep.Values["avgimp_"+m] = sums[i] / n
+	}
+	rep.Rows = append(rep.Rows, avg)
+	return rep
+}
+
+// fig5Managers is the subset of managers Figure 5 breaks down.
+var fig5Managers = []string{"PTS", "ATS", "BFGTS-SW", "BFGTS-HW", "BFGTS-HW/Backoff"}
+
+// Fig5 reproduces the normalized time breakdown. Each row's categories sum
+// to the benchmark's runtime normalized to single-core execution (core
+// idle time is folded into Kernel, as blocked-thread time manifests there).
+func Fig5(r *Runner) *Report {
+	rep := &Report{
+		ID:      "fig5",
+		Title:   "Execution-time breakdown normalized to one-core runtime",
+		Columns: []string{"Benchmark", "Manager", "NonTx", "Kernel", "Tx", "Abort", "Scheduling", "Total"},
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		base := r.Baseline(f)
+		denom := float64(r.cfg.Cores) * float64(base.Makespan)
+		for _, m := range fig5Managers {
+			res := fig4Cell(r, f, m)
+			b := res.Breakdown
+			kernel := float64(b[sim.CatKernel]+b[sim.CatIdle]) / denom
+			vals := []float64{
+				float64(b[sim.CatNonTx]) / denom,
+				kernel,
+				float64(b[sim.CatTx]) / denom,
+				float64(b[sim.CatAbort]) / denom,
+				float64(b[sim.CatScheduling]) / denom,
+			}
+			total := 0.0
+			row := []string{f.Name(), m}
+			for _, v := range vals {
+				row = append(row, fmt.Sprintf("%.3f", v))
+				total += v
+			}
+			row = append(row, fmt.Sprintf("%.3f", total))
+			rep.Rows = append(rep.Rows, row)
+			rep.Values[fmt.Sprintf("kernel_%s_%s", f.Name(), m)] = kernel
+			rep.Values[fmt.Sprintf("sched_%s_%s", f.Name(), m)] = vals[4]
+			rep.Values[fmt.Sprintf("abort_%s_%s", f.Name(), m)] = vals[3]
+		}
+	}
+	return rep
+}
+
+func bloomSweep(r *Runner, id, title string, mode sched.BFGTSMode) *Report {
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"Benchmark", "512b", "1024b", "2048b", "4096b", "8192b", "best"},
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		row := []string{f.Name()}
+		bestBits, bestSp := 0, 0.0
+		for _, bits := range BloomSizes {
+			sp := r.Speedup(f, r.Run(f, bfgtsSpec(mode, bits, 0), false))
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			rep.Values[fmt.Sprintf("speedup_%s_%d", f.Name(), bits)] = sp
+			if sp > bestSp {
+				bestSp, bestBits = sp, bits
+			}
+		}
+		row = append(row, fmt.Sprintf("%db", bestBits))
+		rep.Values[fmt.Sprintf("best_%s", f.Name())] = float64(bestBits)
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Fig6a is the BFGTS-HW Bloom-size sweep.
+func Fig6a(r *Runner) *Report {
+	return bloomSweep(r, "fig6a", "BFGTS-HW speedup vs Bloom filter size", sched.BFGTSHW)
+}
+
+// Fig6b is the BFGTS-HW/Backoff Bloom-size sweep.
+func Fig6b(r *Runner) *Report {
+	return bloomSweep(r, "fig6b", "BFGTS-HW/Backoff speedup vs Bloom filter size", sched.BFGTSHWBackoff)
+}
+
+// Sec532 sweeps the small-transaction similarity-update interval for
+// BFGTS-HW and reports average improvement over PTS per interval.
+func Sec532(r *Runner) *Report {
+	rep := &Report{
+		ID:      "sec532",
+		Title:   "Average improvement over PTS vs similarity-update interval (BFGTS-HW)",
+		Columns: []string{"Interval", "AvgImprovementOverPTS"},
+		Values:  map[string]float64{},
+	}
+	for _, interval := range []int{1, 10, 20} {
+		sum := 0.0
+		for _, f := range stamp.All() {
+			pts := r.Speedup(f, r.Run(f, BaselineSpecs()[1], false))
+			// Use each benchmark's optimal Bloom size at this interval.
+			best := 0.0
+			for _, bits := range BloomSizes {
+				sp := r.Speedup(f, r.Run(f, bfgtsSpecInterval(bits, interval), false))
+				if sp > best {
+					best = sp
+				}
+			}
+			sum += 100 * (best - pts) / pts
+		}
+		avg := sum / float64(len(stamp.All()))
+		rep.Rows = append(rep.Rows, []string{fmt.Sprintf("%d", interval), fmt.Sprintf("%+.1f%%", avg)})
+		rep.Values[fmt.Sprintf("imp_interval_%d", interval)] = avg
+	}
+	return rep
+}
+
+func bfgtsSpecInterval(bits, interval int) ManagerSpec {
+	s := bfgtsSpec(sched.BFGTSHW, bits, interval)
+	s.Name = fmt.Sprintf("%s/i%d", s.Name, interval)
+	return s
+}
+
+// AblAliasing compares BFGTS-HW with and without confidence-table
+// aliasing (folding static IDs into 2 buckets), quantifying what the
+// paper's future-work compression would cost.
+func AblAliasing(r *Runner) *Report {
+	rep := &Report{
+		ID:      "abl-alias",
+		Title:   "BFGTS-HW speedup: full confidence table vs 2-bucket aliasing",
+		Columns: []string{"Benchmark", "Full", "Aliased", "Delta"},
+		Values:  map[string]float64{},
+	}
+	aliased := ManagerSpec{
+		Name: "BFGTS-HW/alias2",
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			cfg.AliasBuckets = 2
+			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
+		},
+	}
+	for _, f := range stamp.All() {
+		full := r.Speedup(f, r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false))
+		al := r.Speedup(f, r.Run(f, aliased, false))
+		rep.Rows = append(rep.Rows, []string{
+			f.Name(), fmt.Sprintf("%.2f", full), fmt.Sprintf("%.2f", al),
+			fmt.Sprintf("%+.1f%%", 100*(al-full)/full),
+		})
+		rep.Values["full_"+f.Name()] = full
+		rep.Values["alias_"+f.Name()] = al
+	}
+	return rep
+}
+
+// AblSuspend compares Example 2's size-dependent spin-vs-yield policy
+// against always-yield, isolating the value of the small-transaction stall
+// path.
+func AblSuspend(r *Runner) *Report {
+	rep := &Report{
+		ID:      "abl-suspend",
+		Title:   "BFGTS-HW speedup: size-aware suspend (Example 2) vs always-yield",
+		Columns: []string{"Benchmark", "SizeAware", "AlwaysYield", "Delta"},
+		Values:  map[string]float64{},
+	}
+	alwaysYield := ManagerSpec{
+		Name: "BFGTS-HW/yield",
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			cfg.SmallTxLines = 0 // nothing counts as small: always yield
+			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
+		},
+	}
+	for _, f := range stamp.All() {
+		aware := r.Speedup(f, r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false))
+		yield := r.Speedup(f, r.Run(f, alwaysYield, false))
+		rep.Rows = append(rep.Rows, []string{
+			f.Name(), fmt.Sprintf("%.2f", aware), fmt.Sprintf("%.2f", yield),
+			fmt.Sprintf("%+.1f%%", 100*(yield-aware)/aware),
+		})
+		rep.Values["aware_"+f.Name()] = aware
+		rep.Values["yield_"+f.Name()] = yield
+	}
+	return rep
+}
+
+// SortedValueKeys lists a report's value keys deterministically (test aid).
+func SortedValueKeys(rep *Report) []string {
+	keys := make([]string, 0, len(rep.Values))
+	for k := range rep.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ReactiveSpecs are the Scherer & Scott-style reactive managers (plus the
+// plain Backoff baseline) used by AblReactive.
+func ReactiveSpecs() []ManagerSpec {
+	return []ManagerSpec{
+		{Name: "Backoff", New: func(env sched.Env) sched.Manager { return sched.NewBackoff(env) }},
+		{Name: "Polite", New: func(env sched.Env) sched.Manager { return sched.NewPolite(env) }},
+		{Name: "Karma", New: func(env sched.Env) sched.Manager { return sched.NewKarma(env) }},
+		{Name: "Timestamp", New: func(env sched.Env) sched.Manager { return sched.NewTimestampCM(env) }},
+	}
+}
+
+// AblReactive reproduces the paper's Section 1/2 framing: reactive
+// contention managers fix conflicts after the fact and cannot rescue
+// dense-contention benchmarks, however clever their stall heuristics; a
+// proactive scheduler can. Speedups over one core, BFGTS-HW included as
+// the proactive reference.
+func AblReactive(r *Runner) *Report {
+	specs := ReactiveSpecs()
+	cols := []string{"Benchmark"}
+	for _, m := range specs {
+		cols = append(cols, m.Name)
+	}
+	cols = append(cols, "BFGTS-HW")
+	rep := &Report{
+		ID:      "abl-reactive",
+		Title:   "Reactive stall heuristics vs proactive scheduling (speedup over one core)",
+		Columns: cols,
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		row := []string{f.Name()}
+		for _, m := range specs {
+			sp := r.Speedup(f, r.Run(f, m, false))
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			rep.Values[fmt.Sprintf("speedup_%s_%s", f.Name(), m.Name)] = sp
+		}
+		sp := r.Speedup(f, r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false))
+		row = append(row, fmt.Sprintf("%.2f", sp))
+		rep.Values[fmt.Sprintf("speedup_%s_BFGTS-HW", f.Name())] = sp
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// AblWarmStart measures what skipping the learning phase is worth: run
+// BFGTS-HW cold, export the learned state (core.Runtime.ExportState), and
+// run again with the tables pre-loaded. Gains concentrate where learning
+// is expensive relative to run length (dense conflict graphs).
+func AblWarmStart(r *Runner) *Report {
+	rep := &Report{
+		ID:      "abl-warmstart",
+		Title:   "BFGTS-HW speedup: cold start vs warm-started confidence tables",
+		Columns: []string{"Benchmark", "Cold", "Warm", "Delta"},
+		Values:  map[string]float64{},
+	}
+	for _, f := range stamp.All() {
+		var trained *core.State
+		coldSpec := ManagerSpec{
+			Name: "BFGTS-HW/cold",
+			New: func(env sched.Env) sched.Manager {
+				m := sched.NewBFGTS(env, sched.BFGTSHW, core.DefaultConfig(env.NumThreads, env.NumStatic))
+				return &stateCapture{BFGTS: m, out: &trained}
+			},
+		}
+		cold := r.Speedup(f, r.Run(f, coldSpec, false))
+		warmSpec := ManagerSpec{
+			Name: "BFGTS-HW/warm",
+			New: func(env sched.Env) sched.Manager {
+				m := sched.NewBFGTS(env, sched.BFGTSHW, core.DefaultConfig(env.NumThreads, env.NumStatic))
+				if trained != nil {
+					if err := m.Runtime().ImportState(trained); err != nil {
+						panic(err)
+					}
+				}
+				return m
+			},
+		}
+		warm := r.Speedup(f, r.Run(f, warmSpec, false))
+		rep.Rows = append(rep.Rows, []string{
+			f.Name(), fmt.Sprintf("%.2f", cold), fmt.Sprintf("%.2f", warm),
+			fmt.Sprintf("%+.1f%%", 100*(warm-cold)/cold),
+		})
+		rep.Values["cold_"+f.Name()] = cold
+		rep.Values["warm_"+f.Name()] = warm
+	}
+	return rep
+}
+
+// stateCapture snapshots the runtime's learned state when the run ends
+// (approximated by capturing on every commit; the last one wins).
+type stateCapture struct {
+	*sched.BFGTS
+	out     **core.State
+	commits int
+}
+
+// OnCommit intercepts to refresh the snapshot periodically.
+func (s *stateCapture) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+	cost := s.BFGTS.OnCommit(tid, stx, lines, writes, size)
+	s.commits++
+	if s.commits%512 == 0 {
+		*s.out = s.BFGTS.Runtime().ExportState()
+	}
+	return cost
+}
+
+// AblScaling sweeps the machine size (1..16 cores, 4 threads per core) on
+// the dense-contention benchmark to show where proactive scheduling's
+// advantage comes from: Backoff degrades with added cores (more concurrent
+// conflicters), BFGTS keeps extracting what parallelism exists.
+func AblScaling(r *Runner) *Report {
+	rep := &Report{
+		ID:      "abl-scaling",
+		Title:   "Speedup over one core vs core count (delaunay, 4 threads/core)",
+		Columns: []string{"Cores", "Backoff", "PTS", "BFGTS-HW"},
+		Values:  map[string]float64{},
+	}
+	f, _ := stamp.ByName("delaunay")
+	specs := []ManagerSpec{
+		BaselineSpecs()[0],
+		BaselineSpecs()[1],
+		bfgtsSpec(sched.BFGTSHW, 2048, 0),
+	}
+	base := r.Baseline(f)
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, m := range specs {
+			res := r.runAt(f, m, cores, r.cfg.ThreadsPerCore, false)
+			sp := float64(base.Makespan) / float64(res.Makespan)
+			row = append(row, fmt.Sprintf("%.2f", sp))
+			rep.Values[fmt.Sprintf("speedup_%d_%s", cores, m.Name)] = sp
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}

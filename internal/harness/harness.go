@@ -1,0 +1,185 @@
+// Package harness maps every table and figure of the paper's evaluation
+// (Section 5) to runnable experiments over the simulator: Table 1
+// (conflict graphs and similarity), Table 4 (contention rates), Figure 4
+// (speedup and improvement over PTS), Figure 5 (time breakdown), Figure 6
+// (Bloom-filter size sensitivity), the Section 5.3.2 similarity-interval
+// sweep, and ablations for the design choices DESIGN.md calls out.
+//
+// Experiments return structured Reports that the CLI renders as ASCII and
+// the test suite asserts shape properties against.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config scales and seeds a whole experiment.
+type Config struct {
+	Cores          int
+	ThreadsPerCore int
+	Seed           uint64
+	// Scale multiplies every benchmark's transaction count; use < 1 for
+	// quick runs (benchmarks, CI).
+	Scale float64
+}
+
+// DefaultConfig is the paper's machine: 16 CPUs, 64 threads.
+func DefaultConfig() Config {
+	return Config{Cores: 16, ThreadsPerCore: 4, Seed: 1, Scale: 1.0}
+}
+
+// ManagerSpec names a contention-manager configuration.
+type ManagerSpec struct {
+	Name      string
+	BloomBits int // 0 where not applicable
+	New       func(env sched.Env) sched.Manager
+}
+
+// bfgtsSpec builds a BFGTS variant spec with a given Bloom size and
+// similarity interval.
+func bfgtsSpec(mode sched.BFGTSMode, bloomBits, simInterval int) ManagerSpec {
+	name := mode.String()
+	if bloomBits != 0 {
+		name = fmt.Sprintf("%s/%db", name, bloomBits)
+	}
+	return ManagerSpec{
+		Name:      name,
+		BloomBits: bloomBits,
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			if bloomBits != 0 {
+				cfg.BloomBits = bloomBits
+			}
+			if simInterval != 0 {
+				cfg.SimInterval = simInterval
+			}
+			return sched.NewBFGTS(env, mode, cfg)
+		},
+	}
+}
+
+// BaselineSpecs are the non-BFGTS managers.
+func BaselineSpecs() []ManagerSpec {
+	return []ManagerSpec{
+		{Name: "Backoff", New: func(env sched.Env) sched.Manager { return sched.NewBackoff(env) }},
+		{Name: "PTS", New: func(env sched.Env) sched.Manager { return sched.NewPTS(env) }},
+		{Name: "ATS", New: func(env sched.Env) sched.Manager { return sched.NewATS(env) }},
+	}
+}
+
+// BloomSizes is the paper's sweep range.
+var BloomSizes = []int{512, 1024, 2048, 4096, 8192}
+
+// runKey identifies a simulation for the in-process cache.
+type runKey struct {
+	bench   string
+	manager string
+	cores   int
+	tpc     int
+	seed    uint64
+	scale   float64
+	profile bool
+}
+
+// Runner executes and caches simulations for one experiment session.
+type Runner struct {
+	cfg   Config
+	cache map[runKey]*sim.Result
+}
+
+// NewRunner returns a fresh experiment session.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	return &Runner{cfg: cfg, cache: make(map[runKey]*sim.Result)}
+}
+
+// Run simulates one (benchmark, manager) cell, memoizing by configuration.
+func (r *Runner) Run(f workload.Factory, m ManagerSpec, profile bool) *sim.Result {
+	return r.runAt(f, m, r.cfg.Cores, r.cfg.ThreadsPerCore, profile)
+}
+
+// RunTraced simulates one cell with an event trace attached (uncached).
+func (r *Runner) RunTraced(f workload.Factory, m ManagerSpec, rec *trace.Recorder) *sim.Result {
+	if rec == nil {
+		return r.Run(f, m, false)
+	}
+	w := f.New(scaledTxs(f, r.cfg.Scale))
+	res := sim.NewRunner(sim.RunConfig{
+		Cores:          r.cfg.Cores,
+		ThreadsPerCore: r.cfg.ThreadsPerCore,
+		Seed:           r.cfg.Seed,
+		Workload:       w,
+		NewManager:     m.New,
+		MaxCycles:      100_000_000_000,
+		Trace:          rec,
+	}).Run()
+	res.ManagerName = m.Name
+	return res
+}
+
+// Baseline simulates the single-core, single-thread reference run that
+// Figure 4(a) speedups normalize against.
+func (r *Runner) Baseline(f workload.Factory) *sim.Result {
+	return r.runAt(f, BaselineSpecs()[0], 1, 1, false)
+}
+
+func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profile bool) *sim.Result {
+	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	w := f.New(scaledTxs(f, r.cfg.Scale))
+	res := sim.NewRunner(sim.RunConfig{
+		Cores:             cores,
+		ThreadsPerCore:    tpc,
+		Seed:              r.cfg.Seed,
+		Workload:          w,
+		NewManager:        m.New,
+		ProfileSimilarity: profile,
+		MaxCycles:         100_000_000_000,
+	}).Run()
+	res.ManagerName = m.Name // keep the spec name (includes Bloom size)
+	r.cache[key] = res
+	return res
+}
+
+func scaledTxs(f workload.Factory, scale float64) int {
+	n := int(float64(f.Txs) * scale)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Speedup returns the Figure 4(a) metric for a result against the
+// benchmark's single-core baseline.
+func (r *Runner) Speedup(f workload.Factory, res *sim.Result) float64 {
+	base := r.Baseline(f)
+	if res.Makespan == 0 {
+		return 0
+	}
+	return float64(base.Makespan) / float64(res.Makespan)
+}
+
+// BestBloom runs the Bloom-size sweep for a BFGTS mode on one benchmark
+// and returns the best-performing size and its result — the paper reports
+// each BFGTS variant "with their optimal size Bloom filter".
+func (r *Runner) BestBloom(f workload.Factory, mode sched.BFGTSMode) (int, *sim.Result) {
+	bestBits := 0
+	var best *sim.Result
+	for _, bits := range BloomSizes {
+		res := r.Run(f, bfgtsSpec(mode, bits, 0), false)
+		if best == nil || res.Makespan < best.Makespan {
+			best, bestBits = res, bits
+		}
+	}
+	return bestBits, best
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// MultiSeed runs an experiment across n seeds (base, base+1, …) and
+// aggregates every reported value into mean ± standard deviation — the
+// variance disclosure behind EXPERIMENTS.md's cross-seed claims.
+func MultiSeed(exp Experiment, cfg Config, n int) *Report {
+	if n < 1 {
+		n = 1
+	}
+	agg := map[string]*stats.Summary{}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		rep := exp.Run(NewRunner(c))
+		for k, v := range rep.Values {
+			s, ok := agg[k]
+			if !ok {
+				s = &stats.Summary{}
+				agg[k] = s
+			}
+			s.Add(v)
+		}
+	}
+	out := &Report{
+		ID:      exp.ID + "-multiseed",
+		Title:   fmt.Sprintf("%s across %d seeds (mean ± sd)", exp.Description, n),
+		Columns: []string{"Value", "Mean", "StdDev", "Min", "Max"},
+		Values:  map[string]float64{},
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		s := agg[k]
+		out.Rows = append(out.Rows, []string{
+			k,
+			fmt.Sprintf("%.3f", s.Mean()),
+			fmt.Sprintf("%.3f", s.StdDev()),
+			fmt.Sprintf("%.3f", s.Min()),
+			fmt.Sprintf("%.3f", s.Max()),
+		})
+		out.Values[k+"_mean"] = s.Mean()
+		out.Values[k+"_sd"] = s.StdDev()
+	}
+	return out
+}
+
+// sortStrings is an insertion sort: key counts are small and this avoids
+// widening the import set of a hot-path file.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

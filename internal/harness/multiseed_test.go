@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+func TestMultiSeedAggregates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.08
+	exp, _ := ExperimentByID("table1")
+	rep := MultiSeed(exp, cfg, 2)
+	if len(rep.Rows) == 0 {
+		t.Fatal("no aggregated rows")
+	}
+	// Every aggregated key exposes mean and sd.
+	mean, ok := rep.Values["sim_intruder_0_mean"]
+	if !ok {
+		t.Fatal("missing aggregated mean for sim_intruder_0")
+	}
+	if mean <= 0 || mean > 1 {
+		t.Fatalf("aggregated similarity mean = %v", mean)
+	}
+	if _, ok := rep.Values["sim_intruder_0_sd"]; !ok {
+		t.Fatal("missing aggregated sd")
+	}
+}
+
+func TestMultiSeedSingleSeedDegenerate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	exp, _ := ExperimentByID("table1")
+	rep := MultiSeed(exp, cfg, 0) // clamped to 1
+	for _, row := range rep.Rows {
+		if row[2] != "0.000" { // sd of a single sample
+			t.Fatalf("single-seed sd = %s for %s", row[2], row[0])
+		}
+	}
+}

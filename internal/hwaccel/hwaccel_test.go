@@ -1,0 +1,165 @@
+package hwaccel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(DefaultCacheConfig())
+	if lat := c.Access(0); lat != 32 {
+		t.Fatalf("cold access latency = %d, want 32 (miss)", lat)
+	}
+	if lat := c.Access(8); lat != 1 {
+		t.Fatalf("same-line access latency = %d, want 1 (hit)", lat)
+	}
+	if lat := c.Access(64); lat != 32 {
+		t.Fatalf("next-line access latency = %d, want miss", lat)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d, %d), want (1, 2)", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 lines of 64B, 1 way => 2 sets, direct mapped.
+	c := NewCache(CacheConfig{SizeBytes: 128, Ways: 1, LineBytes: 64, HitCycles: 1, MissCycles: 10})
+	c.Access(0)   // set 0
+	c.Access(128) // set 0, evicts line 0
+	if lat := c.Access(0); lat != 10 {
+		t.Fatalf("evicted line access = %d, want miss", lat)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// One set, 2 ways.
+	c := NewCache(CacheConfig{SizeBytes: 128, Ways: 2, LineBytes: 64, HitCycles: 1, MissCycles: 10})
+	c.Access(0)   // A
+	c.Access(128) // B (same set: tags 0 and 2 both mod 1? one set since 2 lines/2 ways)
+	c.Access(0)   // touch A -> A is MRU
+	c.Access(256) // C evicts LRU = B
+	if lat := c.Access(0); lat != 1 {
+		t.Fatal("MRU line was evicted")
+	}
+	if lat := c.Access(128); lat != 10 {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestCacheSnoopRefetchKeepsLineResident(t *testing.T) {
+	c := NewCache(DefaultCacheConfig())
+	c.Access(0)
+	c.Invalidate(0)
+	if lat := c.Access(0); lat != 1 {
+		t.Fatalf("post-snoop access = %d, want hit (refetch semantics)", lat)
+	}
+	d := NewCache(DefaultCacheConfig())
+	d.Access(0)
+	d.InvalidateNoRefetch(0)
+	if lat := d.Access(0); lat != 32 {
+		t.Fatalf("post-plain-invalidate access = %d, want miss", lat)
+	}
+}
+
+func newBank(nCPUs int) (*Bank, *core.Runtime) {
+	cfg := core.DefaultConfig(nCPUs*4, 4)
+	rt := core.NewRuntime(cfg, core.DefaultCosts())
+	return NewBank(rt, nCPUs, DefaultCacheConfig()), rt
+}
+
+func TestBankBroadcastMaintainsAllTables(t *testing.T) {
+	b, rt := newBank(4)
+	d := rt.Config().DTx(5, 2)
+	b.BroadcastBegin(1, d)
+	for cpu := 0; cpu < 4; cpu++ {
+		if got := b.Unit(cpu).CPUTable()[1]; got != d {
+			t.Fatalf("cpu %d table[1] = %d, want %d", cpu, got, d)
+		}
+	}
+	b.BroadcastEnd(1)
+	for cpu := 0; cpu < 4; cpu++ {
+		if got := b.Unit(cpu).CPUTable()[1]; got != core.NoTx {
+			t.Fatalf("cpu %d table[1] = %d after end, want NoTx", cpu, got)
+		}
+	}
+}
+
+func TestPredictNoConflictWhenTableEmpty(t *testing.T) {
+	b, _ := newBank(4)
+	pr := b.Unit(0).Predict(0)
+	if pr.Conflict {
+		t.Fatal("conflict predicted with empty CPU table")
+	}
+	if pr.Cycles <= 0 {
+		t.Fatal("prediction cost non-positive")
+	}
+}
+
+func TestPredictConflictAboveThreshold(t *testing.T) {
+	b, rt := newBank(4)
+	cfg := rt.Config()
+	enemy := cfg.DTx(7, 3)
+	// Saturate confidence between stx 0 and stx 3.
+	for i := 0; i < 30; i++ {
+		rt.TxConflict(cfg.DTx(0, 0), enemy)
+	}
+	b.BroadcastBegin(2, enemy)
+	pr := b.Unit(0).Predict(0)
+	if !pr.Conflict || pr.WaitDTx != enemy {
+		t.Fatalf("prediction = %+v, want conflict with %d", pr, enemy)
+	}
+	if got := b.Unit(0).WaitRegister(); got != enemy {
+		t.Fatalf("wait register = %d, want %d", got, enemy)
+	}
+}
+
+func TestPredictIgnoresOwnCPU(t *testing.T) {
+	b, rt := newBank(4)
+	cfg := rt.Config()
+	self := cfg.DTx(0, 0)
+	for i := 0; i < 30; i++ {
+		rt.TxConflict(self, cfg.DTx(1, 0))
+	}
+	b.BroadcastBegin(0, self) // our own slot
+	pr := b.Unit(0).Predict(0)
+	if pr.Conflict {
+		t.Fatal("predictor matched against its own CPU slot")
+	}
+}
+
+func TestPredictThresholdRegister(t *testing.T) {
+	b, rt := newBank(2)
+	cfg := rt.Config()
+	enemy := cfg.DTx(1, 1)
+	rt.TxConflict(cfg.DTx(0, 0), enemy) // small confidence bump
+	b.BroadcastBegin(1, enemy)
+	u := b.Unit(0)
+	u.SetThreshold(0.0001)
+	if pr := u.Predict(0); !pr.Conflict {
+		t.Fatal("low threshold did not trigger prediction")
+	}
+	u.SetThreshold(0.9999)
+	if pr := u.Predict(0); pr.Conflict {
+		t.Fatal("high threshold still triggered prediction")
+	}
+}
+
+func TestPredictLatencyHotVsCold(t *testing.T) {
+	b, rt := newBank(16)
+	cfg := rt.Config()
+	for cpu := 1; cpu < 16; cpu++ {
+		b.BroadcastBegin(cpu, cfg.DTx(cpu, cpu%4))
+	}
+	cold := b.Unit(0).Predict(0).Cycles
+	hot := b.Unit(0).Predict(0).Cycles
+	if hot >= cold {
+		t.Fatalf("hot prediction (%d cyc) not faster than cold (%d cyc)", hot, cold)
+	}
+	// A hot 16-entry walk should be on the order of tens of cycles, far
+	// below the software scan's hundreds.
+	if hot > 40 {
+		t.Fatalf("hot hardware prediction = %d cycles, want fast", hot)
+	}
+}

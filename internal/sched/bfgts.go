@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"repro/internal/core"
+	"repro/internal/hwaccel"
+)
+
+// BFGTSMode selects which of the paper's four BFGTS variants a manager
+// instance implements.
+type BFGTSMode int
+
+// BFGTS variants (Section 5.1).
+const (
+	// BFGTSSW does everything in software, including the begin-time CPU
+	// table scan.
+	BFGTSSW BFGTSMode = iota
+	// BFGTSHW uses the hardware accelerator (internal/hwaccel) for
+	// begin-time predictions.
+	BFGTSHW
+	// BFGTSHWBackoff is the Section 4.3 hybrid: randomized backoff while
+	// conflict pressure is low, full BFGTS-HW when it is high.
+	BFGTSHWBackoff
+	// BFGTSNoOverhead is the limit study: every scheduling operation
+	// completes in one cycle and signatures are perfect.
+	BFGTSNoOverhead
+)
+
+func (m BFGTSMode) String() string {
+	switch m {
+	case BFGTSSW:
+		return "BFGTS-SW"
+	case BFGTSHW:
+		return "BFGTS-HW"
+	case BFGTSHWBackoff:
+		return "BFGTS-HW/Backoff"
+	case BFGTSNoOverhead:
+		return "BFGTS-NoOverhead"
+	default:
+		return "BFGTS-?"
+	}
+}
+
+// BFGTS is the paper's contention manager: Bloom-filter-guided transaction
+// scheduling over the internal/core runtime, with optional hardware
+// prediction and the optional pressure-gated hybrid mode.
+type BFGTS struct {
+	env  Env
+	mode BFGTSMode
+	rt   *core.Runtime
+
+	bank     *hwaccel.Bank // HW modes only
+	cpuTable []int         // SW modes only
+
+	pressure *pressureMeter // hybrid mode only
+	// PressureThreshold gates the hybrid: below it, behave like Backoff
+	// (paper value 0.25 with heavy history bias).
+	PressureThreshold float64
+}
+
+// NewBFGTS builds a manager variant. cfg seeds the core runtime; its
+// NumThreads/NumStatic are overridden from env. For BFGTSNoOverhead the
+// signature and cost settings are forced to perfect/one-cycle.
+func NewBFGTS(env Env, mode BFGTSMode, cfg core.Config) *BFGTS {
+	cfg.NumThreads = env.NumThreads
+	cfg.NumStatic = env.NumStatic
+	costs := core.DefaultCosts()
+	if mode == BFGTSNoOverhead {
+		cfg.Perfect = true
+		costs = core.NoOverheadCosts()
+	}
+	b := &BFGTS{
+		env:               env,
+		mode:              mode,
+		rt:                core.NewRuntime(cfg, costs),
+		PressureThreshold: 0.25,
+	}
+	switch mode {
+	case BFGTSHW, BFGTSHWBackoff:
+		b.bank = hwaccel.NewBank(b.rt, env.NumCPUs, hwaccel.DefaultCacheConfig())
+	default:
+		b.cpuTable = make([]int, env.NumCPUs)
+		for i := range b.cpuTable {
+			b.cpuTable[i] = core.NoTx
+		}
+	}
+	if mode == BFGTSHWBackoff {
+		// "Heavily biases past history, therefore the frequency of
+		// switching between backoff and BFGTS-HW is slow."
+		b.pressure = newPressureMeter(env.NumStatic, 0.95)
+	}
+	return b
+}
+
+// Name implements Manager.
+func (b *BFGTS) Name() string { return b.mode.String() }
+
+// Runtime exposes the underlying BFGTS state for reporting (similarity,
+// confidence-table footprint).
+func (b *BFGTS) Runtime() *core.Runtime { return b.rt }
+
+// Mode returns the variant this instance implements.
+func (b *BFGTS) Mode() BFGTSMode { return b.mode }
+
+func (b *BFGTS) predict(tid, stx int) core.Prediction {
+	cpu := b.env.CPUOf(tid)
+	if b.bank != nil {
+		return b.bank.Unit(cpu).Predict(stx)
+	}
+	return b.rt.PredictSW(stx, b.cpuTable, cpu)
+}
+
+// OnBegin implements Manager: in hybrid mode, low conflict pressure skips
+// prediction entirely; otherwise predict (Example 1), and on a predicted
+// conflict run suspendTx (Example 2) to decide between spin-stall and
+// yield.
+func (b *BFGTS) OnBegin(tid, stx int) BeginResult {
+	if b.pressure != nil && b.pressure.value(stx) <= b.PressureThreshold {
+		return BeginResult{Action: Proceed, Overhead: 5}
+	}
+	pred := b.predict(tid, stx)
+	if !pred.Conflict {
+		return BeginResult{Action: Proceed, Overhead: pred.Cycles}
+	}
+	self := b.rt.Config().DTx(tid, stx)
+	dec := b.rt.SuspendTx(self, pred.WaitDTx)
+	action := SpinWait
+	if dec.Yield {
+		action = YieldRetry
+	}
+	return BeginResult{
+		Action:   action,
+		WaitDTx:  pred.WaitDTx,
+		Overhead: pred.Cycles + dec.Cycles,
+	}
+}
+
+// OnCPUSlot implements Manager: in hardware modes this is the snoop
+// broadcast; in software modes the runtime's shared CPU table is updated
+// directly.
+func (b *BFGTS) OnCPUSlot(cpu, dtx int) {
+	if b.bank != nil {
+		if dtx == core.NoTx {
+			b.bank.BroadcastEnd(cpu)
+		} else {
+			b.bank.BroadcastBegin(cpu, dtx)
+		}
+		return
+	}
+	b.cpuTable[cpu] = dtx
+}
+
+// OnAbort implements Manager: txConflict (Example 3) plus a short
+// randomized backoff (the underlying LogTM retry discipline).
+func (b *BFGTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
+	if b.pressure != nil {
+		b.pressure.onConflict(stx)
+		b.pressure.onConflict(enemyStx)
+	}
+	self := b.rt.Config().DTx(tid, stx)
+	enemy := b.rt.Config().DTx(enemyTid, enemyStx)
+	cost := b.rt.TxConflict(self, enemy)
+	shift := attempts
+	if shift > 8 {
+		shift = 8
+	}
+	return AbortResult{
+		Backoff:  b.env.Rand.Int63n(200<<shift) + 1,
+		Overhead: cost,
+	}
+}
+
+// OnCommit implements Manager: commitTx (Example 4). In hybrid mode with
+// low pressure the Bloom-filter work is skipped (Section 4.3).
+func (b *BFGTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+	self := b.rt.Config().DTx(tid, stx)
+	if b.pressure != nil {
+		b.pressure.onCommit(stx)
+		if b.pressure.value(stx) <= b.PressureThreshold {
+			return b.rt.CommitTxLight(self, size)
+		}
+	}
+	return b.rt.CommitTx(self, lines, writes, size).Cycles
+}
+
+// OnTxEnded implements Manager.
+func (b *BFGTS) OnTxEnded(tid, stx int, committed bool) {}

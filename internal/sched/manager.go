@@ -1,0 +1,99 @@
+// Package sched contains the contention managers evaluated in the paper,
+// behind one plug-in interface:
+//
+//   - Backoff — the reactive baseline: randomized exponential backoff on
+//     abort, nothing at begin time.
+//   - ATS — Adaptive Transaction Scheduling (Yoo & Lee): per-transaction
+//     conflict-pressure moving average; above a threshold, transactions
+//     serialize on one central queue.
+//   - PTS — Proactive Transaction Scheduling (Blake et al.): per-dTxID
+//     conflict graph with confidence edges, begin-time software scan of
+//     running transactions, commit-time validation by Bloom intersection.
+//   - BFGTS-SW / BFGTS-HW / BFGTS-HW-Backoff / BFGTS-NoOverhead — the
+//     paper's contributions, built on internal/core and internal/hwaccel.
+//
+// A manager receives event callbacks from the runner (internal/sim) and
+// returns decisions plus the cycle cost of making them, which the runner
+// charges as scheduling overhead.
+package sched
+
+import "math/rand"
+
+// Action is the begin-time decision of a manager.
+type Action int
+
+// Begin-time actions.
+const (
+	// Proceed starts the transaction immediately.
+	Proceed Action = iota
+	// SpinWait busy-waits until WaitDTx is no longer active, then retries
+	// the begin (Example 2's stallOnTx path for small transactions).
+	SpinWait
+	// YieldRetry yields the CPU (pthread_yield) and retries the begin when
+	// rescheduled (Example 2's path for large transactions).
+	YieldRetry
+	// Block suspends the thread until the manager wakes it (ATS's central
+	// wait queue).
+	Block
+)
+
+// BeginResult is the outcome of OnBegin.
+type BeginResult struct {
+	Action   Action
+	WaitDTx  int   // for SpinWait: the transaction to wait out
+	Overhead int64 // cycles spent deciding (charged as scheduling time)
+}
+
+// AbortResult is the outcome of OnAbort.
+type AbortResult struct {
+	// Backoff is how many cycles to wait before retrying the transaction.
+	Backoff int64
+	// Overhead is the bookkeeping cost (charged as scheduling time).
+	Overhead int64
+}
+
+// Manager is a pluggable contention manager. All callbacks run at
+// simulated instants; implementations must be deterministic given Env.Rand.
+type Manager interface {
+	// Name identifies the manager in results tables.
+	Name() string
+
+	// OnBegin is consulted every time a thread attempts to start (or
+	// restart, after an abort or a serialization wait) transaction stx.
+	OnBegin(tid, stx int) BeginResult
+
+	// OnCPUSlot informs the manager that the transaction occupying a CPU
+	// changed: dtx is the dynamic transaction now executing on cpu, or
+	// core.NoTx when the CPU stopped running a transaction (commit, abort
+	// rollback start, or its thread was descheduled). This is the snoop
+	// traffic that maintains CPU tables.
+	OnCPUSlot(cpu, dtx int)
+
+	// OnAbort is called after transaction (tid, stx) rolled back from a
+	// conflict with (enemyTid, enemyStx); attempts counts prior attempts
+	// of this execution including the aborted one.
+	OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult
+
+	// OnCommit is called when (tid, stx) commits; lines enumerates the
+	// distinct cache lines of its read/write set, writes the written
+	// subset, and size is the distinct line count. It returns the
+	// bookkeeping cost in cycles.
+	OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64
+
+	// OnTxEnded is called when the dynamic transaction fully ends
+	// (committed, or rolled back and about to retry).
+	OnTxEnded(tid, stx int, committed bool)
+}
+
+// Env is the runner-provided environment managers operate in.
+type Env struct {
+	NumCPUs    int
+	NumThreads int
+	NumStatic  int
+	// CPUOf maps a thread to its home CPU (threads are pinned).
+	CPUOf func(tid int) int
+	// Wake unblocks a thread the manager previously parked with Block.
+	Wake func(tid int)
+	// Rand is the deterministic random source for backoff jitter.
+	Rand *rand.Rand
+}

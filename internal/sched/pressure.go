@@ -1,0 +1,27 @@
+package sched
+
+// pressureMeter is the conflict-pressure moving average of ATS (Yoo &
+// Lee), kept per static transaction: it rises toward 1 on conflicts and
+// falls toward 0 on commits, with a configurable history weight alpha —
+// pressure' = alpha*pressure + (1-alpha)*event.
+type pressureMeter struct {
+	alpha  float64
+	values []float64
+}
+
+func newPressureMeter(nStatic int, alpha float64) *pressureMeter {
+	return &pressureMeter{alpha: alpha, values: make([]float64, nStatic)}
+}
+
+// onConflict folds a conflict event (1) into the average for stx.
+func (p *pressureMeter) onConflict(stx int) {
+	p.values[stx] = p.alpha*p.values[stx] + (1 - p.alpha)
+}
+
+// onCommit folds a clean commit event (0) into the average for stx.
+func (p *pressureMeter) onCommit(stx int) {
+	p.values[stx] = p.alpha * p.values[stx]
+}
+
+// value returns the current conflict pressure of stx.
+func (p *pressureMeter) value(stx int) float64 { return p.values[stx] }

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/core"
+)
+
+// PTS is Proactive Transaction Scheduling (Blake et al., MICRO 2009), the
+// paper's closest prior work. Like BFGTS it learns a conflict graph and
+// serializes transactions predicted to conflict with a running one, but:
+//
+//   - the graph is keyed by *dynamic* transaction ID pairs, so the
+//     structure is enormous (the paper reports tens of megabytes) and the
+//     begin-time scan walks cold software structures on every begin;
+//   - confidence updates use fixed increments/decrements, unweighted by
+//     any notion of how stable a transaction's footprint is; and
+//   - commit-time validation uses the raw bitwise Bloom intersection
+//     ("rudimentary Bloom filter use"), whose false positives at realistic
+//     fill ratios strengthen confidences that should decay.
+//
+// These are precisely the three deficiencies BFGTS fixes.
+type PTS struct {
+	env Env
+
+	Threshold float64
+	Inc, Dec  float64
+
+	// conf is the conflict graph: confidence per ordered dTxID pair.
+	conf map[[2]int]float64
+	// sigs holds each dTxID's most recent committed read/write-set filter.
+	sigs map[int]*bloom.Filter
+	// waitingOn records the dTxID each dTxID last serialized behind.
+	waitingOn map[int]int
+
+	cpuTable []int
+
+	// scanEntryCost is the per-CPU-table-entry cost of the begin scan.
+	// PTS's per-dTxID tables are far too large for any cache to hold, so
+	// each probe is priced as a near-memory access, which is what makes
+	// "overhead of executing a scan of software structures on every
+	// transaction begin" one of the paper's three PTS complaints.
+	scanEntryCost int64
+
+	bloomBits int
+}
+
+// NewPTS returns the manager with the standard configuration from the PTS
+// paper as used in this paper's comparison.
+func NewPTS(env Env) *PTS {
+	p := &PTS{
+		env:           env,
+		Threshold:     0.30,
+		Inc:           0.35,
+		Dec:           0.05,
+		conf:          make(map[[2]int]float64),
+		sigs:          make(map[int]*bloom.Filter),
+		waitingOn:     make(map[int]int),
+		cpuTable:      make([]int, env.NumCPUs),
+		scanEntryCost: 45,
+		bloomBits:     2048,
+	}
+	for i := range p.cpuTable {
+		p.cpuTable[i] = core.NoTx
+	}
+	return p
+}
+
+// Name implements Manager.
+func (p *PTS) Name() string { return "PTS" }
+
+func (p *PTS) dtx(tid, stx int) int { return tid*p.env.NumStatic + stx }
+
+// Confidence exposes the learned edge weight between two dynamic
+// transactions (for tests and diagnostics).
+func (p *PTS) Confidence(d1, d2 int) float64 { return p.conf[[2]int{d1, d2}] }
+
+// GraphEdges returns the number of materialized conflict-graph edges, the
+// driver of PTS's memory-footprint problem.
+func (p *PTS) GraphEdges() int { return len(p.conf) }
+
+func (p *PTS) addConf(d1, d2 int, delta float64) {
+	k := [2]int{d1, d2}
+	v := p.conf[k] + delta
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	if v == 0 {
+		delete(p.conf, k)
+		return
+	}
+	p.conf[k] = v
+}
+
+// OnBegin implements Manager: scan the CPU table in software against the
+// per-dTxID conflict graph.
+func (p *PTS) OnBegin(tid, stx int) BeginResult {
+	self := p.dtx(tid, stx)
+	selfCPU := p.env.CPUOf(tid)
+	res := BeginResult{Action: Proceed, WaitDTx: core.NoTx}
+	res.Overhead = 120 + int64(p.env.NumCPUs)*p.scanEntryCost
+	for cpu, dtx := range p.cpuTable {
+		if cpu == selfCPU || dtx == core.NoTx {
+			continue
+		}
+		if p.conf[[2]int{self, dtx}] > p.Threshold {
+			p.waitingOn[self] = dtx
+			res.Action = YieldRetry
+			res.WaitDTx = dtx
+			break
+		}
+	}
+	return res
+}
+
+// OnCPUSlot implements Manager.
+func (p *PTS) OnCPUSlot(cpu, dtx int) { p.cpuTable[cpu] = dtx }
+
+// OnAbort implements Manager: strengthen the edge between the two dynamic
+// transactions by the fixed increment.
+func (p *PTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
+	self, enemy := p.dtx(tid, stx), p.dtx(enemyTid, enemyStx)
+	p.addConf(self, enemy, p.Inc)
+	p.addConf(enemy, self, p.Inc)
+	shift := attempts
+	if shift > 8 {
+		shift = 8
+	}
+	return AbortResult{
+		Backoff:  p.env.Rand.Int63n(200<<shift) + 1,
+		Overhead: 150, // two read-modify-writes in the cold graph structure
+	}
+}
+
+// OnCommit implements Manager: save the new filter and validate any
+// recorded serialization with a raw bitwise intersection.
+func (p *PTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+	self := p.dtx(tid, stx)
+	sig := bloom.NewFilter(p.bloomBits, bloom.DefaultHashes)
+	lines(sig.Add)
+	cost := int64(100) + int64(size)*2 // build filter, bookkeeping
+
+	if waited, ok := p.waitingOn[self]; ok {
+		delete(p.waitingOn, self)
+		if prev := p.sigs[waited]; prev != nil {
+			cost += int64(sig.Words()) * 2 // word-wise AND walk
+			if sig.IntersectsNonNull(prev) {
+				p.addConf(self, waited, p.Inc)
+			} else {
+				p.addConf(self, waited, -p.Dec)
+			}
+			cost += 50
+		}
+	}
+	p.sigs[self] = sig
+	return cost
+}
+
+// OnTxEnded implements Manager.
+func (p *PTS) OnTxEnded(tid, stx int, committed bool) {}

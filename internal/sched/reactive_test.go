@@ -1,0 +1,66 @@
+package sched
+
+import "testing"
+
+func TestReactiveManagersNeverGateBegins(t *testing.T) {
+	env, _ := testEnv(4, 16, 2)
+	for _, m := range []Manager{NewPolite(env), NewKarma(env), NewTimestampCM(env)} {
+		for tid := 0; tid < 8; tid++ {
+			if r := m.OnBegin(tid, tid%2); r.Action != Proceed {
+				t.Errorf("%s gated a begin: %+v", m.Name(), r)
+			}
+		}
+	}
+}
+
+func TestPoliteStallBudgetGrowsWithAttempts(t *testing.T) {
+	env, _ := testEnv(4, 16, 2)
+	p := NewPolite(env)
+	b0 := p.StallBudget(StallInfo{Attempts: 0})
+	b4 := p.StallBudget(StallInfo{Attempts: 4})
+	bHuge := p.StallBudget(StallInfo{Attempts: 1000})
+	if b4 <= b0 {
+		t.Fatalf("patience did not grow: %d -> %d", b0, b4)
+	}
+	if bHuge > p.BaseStall<<p.MaxStallSh {
+		t.Fatalf("patience exceeded cap: %d", bHuge)
+	}
+}
+
+func TestKarmaPatienceFollowsWorkRatio(t *testing.T) {
+	env, _ := testEnv(4, 16, 2)
+	k := NewKarma(env)
+	rich := k.StallBudget(StallInfo{ReqWork: 60, HolderWork: 3})
+	poor := k.StallBudget(StallInfo{ReqWork: 2, HolderWork: 60})
+	if rich <= poor {
+		t.Fatalf("work-rich requester (%d) not more patient than work-poor (%d)", rich, poor)
+	}
+	if poor < 100 {
+		t.Fatalf("budget below floor: %d", poor)
+	}
+	if rich > 16*k.BaseStall {
+		t.Fatalf("budget above cap: %d", rich)
+	}
+}
+
+func TestTimestampOlderIsPatient(t *testing.T) {
+	env, _ := testEnv(4, 16, 2)
+	ts := NewTimestampCM(env)
+	old := ts.StallBudget(StallInfo{ReqSeq: 5, HolderSeq: 100})
+	young := ts.StallBudget(StallInfo{ReqSeq: 100, HolderSeq: 5})
+	if old != ts.OldPatience || young != ts.BaseStall {
+		t.Fatalf("timestamp budgets = (%d, %d), want (%d, %d)", old, young, ts.OldPatience, ts.BaseStall)
+	}
+}
+
+func TestReactiveAbortBackoffsBounded(t *testing.T) {
+	env, _ := testEnv(4, 16, 2)
+	for _, m := range []Manager{NewPolite(env), NewKarma(env), NewTimestampCM(env)} {
+		for i := 0; i < 50; i++ {
+			r := m.OnAbort(0, 0, 1, 1, 10000)
+			if r.Backoff <= 0 || r.Backoff > 300<<10 {
+				t.Fatalf("%s backoff out of bounds: %d", m.Name(), r.Backoff)
+			}
+		}
+	}
+}

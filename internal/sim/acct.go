@@ -1,0 +1,61 @@
+package sim
+
+// Category labels where a thread's (or core's) cycles went. These are the
+// stacked components of the paper's Figure 5 time breakdown. Idle is
+// tracked separately and folded into Kernel when rendering the figure: an
+// idle core under an overcommitted OS means its threads are blocked in the
+// kernel (ATS's central wait queue is the canonical producer of this time).
+type Category int
+
+// Time categories, in the order the paper's Figure 5 stacks them.
+const (
+	CatNonTx      Category = iota // useful work outside transactions
+	CatKernel                     // context switches, yields, futex block/wake
+	CatTx                         // useful work inside transactions (incl. NACK stalls)
+	CatAbort                      // wasted work in aborted attempts, rollback, backoff
+	CatScheduling                 // contention-manager bookkeeping and prediction
+	CatIdle                       // core had no runnable thread
+	NumCategories
+)
+
+// String returns the figure label for the category.
+func (c Category) String() string {
+	switch c {
+	case CatNonTx:
+		return "NonTx"
+	case CatKernel:
+		return "Kernel"
+	case CatTx:
+		return "Tx"
+	case CatAbort:
+		return "Abort"
+	case CatScheduling:
+		return "Scheduling"
+	case CatIdle:
+		return "Idle"
+	default:
+		return "?"
+	}
+}
+
+// Breakdown accumulates cycles per category.
+type Breakdown [NumCategories]int64
+
+// Add charges d cycles to category c.
+func (b *Breakdown) Add(c Category, d int64) { b[c] += d }
+
+// Total returns the sum across categories.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Merge adds other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b {
+		b[i] += other[i]
+	}
+}

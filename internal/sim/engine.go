@@ -1,0 +1,102 @@
+// Package sim contains the deterministic discrete-event simulator that
+// stands in for the paper's M5 full-system setup: an event engine, a
+// machine model (in-order 1-IPC cores at 2 GHz with an overcommitted OS
+// scheduler: 64 threads on 16 cores, 4 per core, round-robin quanta,
+// yield/block/wake with kernel-mode cycle charges), per-thread time
+// accounting in the five categories of the paper's Figure 5, and the
+// transaction runner that executes STAMP-like workloads through the
+// simulated LogTM (internal/tm) under a pluggable contention manager
+// (internal/sched).
+//
+// All time is in CPU cycles. Runs are bit-reproducible: the engine is
+// single-threaded and event ties break on insertion order.
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler. Events fire in (time, insertion
+// sequence) order, which makes simulations deterministic.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine at time zero with no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. Negative delays panic.
+func (e *Engine) After(d int64, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Step fires the next event, if any, advancing time to it. It reports
+// whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain or until the supplied predicate (if
+// non-nil) reports the simulation should stop. The predicate is evaluated
+// after each event.
+func (e *Engine) Run(done func() bool) {
+	for e.Step() {
+		if done != nil && done() {
+			return
+		}
+	}
+}
+
+type event struct {
+	time int64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

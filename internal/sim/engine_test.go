@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30, func() { got = append(got, 3) })
+	e.After(10, func() { got = append(got, 1) })
+	e.After(20, func() { got = append(got, 2) })
+	e.Run(nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineTiesBreakOnInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(nil)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []int64
+	e.After(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run(nil)
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestEnginePastEventPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(nil)
+}
+
+func TestEngineRunStopsOnPredicate(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(int64(i), func() { fired++ })
+	}
+	e.Run(func() bool { return fired == 3 })
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(CatTx, 100)
+	b.Add(CatAbort, 50)
+	var c Breakdown
+	c.Add(CatTx, 1)
+	b.Merge(&c)
+	if b.Total() != 151 || b[CatTx] != 101 {
+		t.Fatalf("breakdown = %v", b)
+	}
+	if CatScheduling.String() != "Scheduling" || CatNonTx.String() != "NonTx" {
+		t.Fatal("category labels wrong")
+	}
+}

@@ -1,0 +1,735 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TMCosts are the transactional-machinery latencies of the simulated LogTM.
+type TMCosts struct {
+	Begin  int64 // register checkpoint + mode switch at TX_BEGIN
+	Commit int64 // flash-clear of read/write bits at commit
+	Access int64 // one transactional load/store (L1 hit)
+	// RollbackBase + RollbackPerLine*writes is the undo-log walk.
+	RollbackBase    int64
+	RollbackPerLine int64
+	// StallTimeout is how long a NACKed requester stalls before giving up
+	// and aborting — LogTM's conservative possible-cycle discipline plus
+	// the OS's unwillingness to leave a core spinning.
+	StallTimeout int64
+}
+
+// DefaultTMCosts returns the latencies used in the evaluation.
+func DefaultTMCosts() TMCosts {
+	return TMCosts{
+		Begin:           8,
+		Commit:          12,
+		Access:          1,
+		RollbackBase:    40,
+		RollbackPerLine: 10,
+		StallTimeout:    800,
+	}
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Cores          int
+	ThreadsPerCore int
+	OSCosts        OSCosts
+	TMCosts        TMCosts
+	Seed           uint64
+
+	Workload   workload.Workload
+	NewManager func(env sched.Env) sched.Manager
+
+	// ProfileSimilarity tracks exact per-static-transaction similarity
+	// (Equation 1) for the Table 1 reproduction. Off by default; it costs
+	// host time, not simulated cycles.
+	ProfileSimilarity bool
+
+	// MaxCycles aborts the simulation if it runs past this time (live-lock
+	// guard). Zero means no limit.
+	MaxCycles int64
+
+	// NonTxChunk is the largest uninterrupted slice of non-transactional
+	// compute between preemption checks.
+	NonTxChunk int64
+
+	// Trace, if non-nil, records per-transaction lifecycle events.
+	Trace *trace.Recorder
+}
+
+// Result is everything one simulation measured.
+type Result struct {
+	ManagerName  string
+	WorkloadName string
+
+	Makespan int64 // cycles from start to last thread exit
+	Commits  int64
+	Aborts   int64
+
+	// Breakdown aggregates all thread cycle charges plus core idle time.
+	Breakdown Breakdown
+
+	// ConflictMatrix counts conflicts between static transaction pairs.
+	ConflictMatrix [][]int64
+	// CommitsPerStx counts commits per static transaction.
+	CommitsPerStx []int64
+	// Similarity is the measured mean Eq. 1 similarity per static
+	// transaction (only when ProfileSimilarity was set).
+	Similarity []float64
+
+	// Latency holds, per static transaction, the distribution of
+	// execution latencies: cycles from the first begin attempt of an
+	// execution to its commit, including all aborted attempts, waits and
+	// backoffs.
+	Latency []stats.Histogram
+
+	// AttemptsPerCommit summarizes how many attempts each committed
+	// execution needed (1 = first try).
+	AttemptsPerCommit stats.Summary
+
+	// TimedOut reports the MaxCycles guard fired before completion.
+	TimedOut bool
+}
+
+// ContentionPct is Table 4's metric: the percentage of transaction
+// executions that aborted.
+func (r *Result) ContentionPct() float64 {
+	total := r.Commits + r.Aborts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Aborts) / float64(total)
+}
+
+type threadState int
+
+const (
+	stIdle      threadState = iota // between program steps
+	stBeginSpin                    // spin-waiting at begin behind a dTx
+	stLineStall                    // NACKed, spinning on a line
+)
+
+type threadCtx struct {
+	tid  int
+	th   *Thread
+	prog workload.Program
+
+	resume func() // continuation to run when (re)dispatched
+
+	// Current transaction execution.
+	desc     *workload.TxDesc
+	attempts int
+	tx       *tm.Tx
+	accIdx   int
+	gap      int64 // compute cycles between accesses
+	txCycles int64 // CatTx cycles charged this attempt (recategorized on abort)
+
+	pendingPre int64 // non-transactional cycles left before the next tx
+	execStart  int64 // when the first begin attempt of this execution ran
+
+	state      threadState
+	waitGen    uint64
+	holder     *tm.Tx // line-stall target
+	waitDTx    int    // begin-spin target
+	chargeMark int64  // start of the current spin charging interval
+
+	// Exact-similarity profiling.
+	prevSet map[int]*bloom.ExactSet // per stx: previous committed set
+	sizeSum map[int]float64
+	sizeCnt map[int]int64
+}
+
+// Runner executes a workload through the TM under a contention manager.
+type Runner struct {
+	cfg RunConfig
+	eng *Engine
+	mac *Machine
+	sys *tm.System
+	mgr sched.Manager
+
+	ctxs    []*threadCtx
+	cpuSlot []int
+
+	stallWaiters map[*tm.Tx][]*threadCtx
+	beginWaiters map[int][]*threadCtx
+
+	simSum        []float64
+	simCnt        []int64
+	commitsPerStx []int64
+	latency       []stats.Histogram
+	attempts      stats.Summary
+
+	makespan int64
+	timedOut bool
+}
+
+// NewRunner wires up a simulation. Call Run to execute it.
+func NewRunner(cfg RunConfig) *Runner {
+	if cfg.NonTxChunk == 0 {
+		cfg.NonTxChunk = 20000
+	}
+	if cfg.OSCosts == (OSCosts{}) {
+		cfg.OSCosts = DefaultOSCosts()
+	}
+	if cfg.TMCosts == (TMCosts{}) {
+		cfg.TMCosts = DefaultTMCosts()
+	}
+	eng := NewEngine()
+	mac := NewMachine(eng, cfg.Cores, cfg.OSCosts)
+	nThreads := cfg.Cores * cfg.ThreadsPerCore
+	nStatic := cfg.Workload.NumStatic()
+
+	r := &Runner{
+		cfg:           cfg,
+		eng:           eng,
+		mac:           mac,
+		sys:           tm.NewSystem(nStatic),
+		cpuSlot:       make([]int, cfg.Cores),
+		stallWaiters:  make(map[*tm.Tx][]*threadCtx),
+		beginWaiters:  make(map[int][]*threadCtx),
+		simSum:        make([]float64, nStatic),
+		simCnt:        make([]int64, nStatic),
+		commitsPerStx: make([]int64, nStatic),
+		latency:       make([]stats.Histogram, nStatic),
+	}
+	for i := range r.cpuSlot {
+		r.cpuSlot[i] = core.NoTx
+	}
+
+	env := sched.Env{
+		NumCPUs:    cfg.Cores,
+		NumThreads: nThreads,
+		NumStatic:  nStatic,
+		CPUOf:      func(tid int) int { return tid % cfg.Cores },
+		Wake:       func(tid int) { mac.ThreadWake(r.ctxs[tid].th) },
+		Rand:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bf0f7c9)),
+	}
+	r.mgr = cfg.NewManager(env)
+
+	r.sys.OnDoom = r.onRemoteDoom
+
+	base := workload.NewRNG(cfg.Seed)
+	for tid := 0; tid < nThreads; tid++ {
+		th := mac.AddThread(tid % cfg.Cores)
+		ctx := &threadCtx{
+			tid:     tid,
+			th:      th,
+			prog:    cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
+			waitDTx: core.NoTx,
+		}
+		if cfg.ProfileSimilarity {
+			ctx.prevSet = make(map[int]*bloom.ExactSet)
+			ctx.sizeSum = make(map[int]float64)
+			ctx.sizeCnt = make(map[int]int64)
+		}
+		ctx.resume = func() { r.fetchNext(ctx) }
+		r.ctxs = append(r.ctxs, ctx)
+	}
+	mac.OnDispatch = r.dispatched
+	return r
+}
+
+// emit records a trace event if tracing is enabled.
+func (r *Runner) emit(ctx *threadCtx, kind trace.Kind, other int, extra int64) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	r.cfg.Trace.Add(trace.Event{
+		Time:    r.eng.Now(),
+		Kind:    kind,
+		Tid:     ctx.tid,
+		Stx:     ctx.desc.STx,
+		Attempt: ctx.attempts,
+		Other:   other,
+		Extra:   extra,
+	})
+}
+
+func (r *Runner) dtxOf(ctx *threadCtx) int {
+	return ctx.tid*r.cfg.Workload.NumStatic() + ctx.desc.STx
+}
+
+func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.th.Core }
+
+// setSlot updates the CPU-table slot for a core and notifies the manager.
+func (r *Runner) setSlot(cpu, dtx int) {
+	if r.cpuSlot[cpu] == dtx {
+		return
+	}
+	r.cpuSlot[cpu] = dtx
+	r.mgr.OnCPUSlot(cpu, dtx)
+}
+
+// dispatched is the machine's OnDispatch hook.
+func (r *Runner) dispatched(th *Thread) {
+	ctx := r.ctxs[th.ID]
+	if ctx.tx != nil && !ctx.tx.Doomed {
+		// A transactional thread regained its core: its transaction is
+		// visible on the CPU table again.
+		r.setSlot(r.cpuOf(ctx), ctx.tx.DTx)
+	}
+	ctx.resume()
+}
+
+// maybePreempt requeues the thread if its quantum expired and someone else
+// wants the core. It returns true if preempted; resume must already be set.
+func (r *Runner) maybePreempt(ctx *threadCtx) bool {
+	if !r.mac.ShouldPreempt(ctx.th) {
+		return false
+	}
+	if ctx.tx != nil {
+		r.setSlot(r.cpuOf(ctx), core.NoTx)
+	}
+	r.mac.Preempt(ctx.th)
+	return true
+}
+
+// fetchNext pulls the next (non-tx, tx) pair from the program.
+func (r *Runner) fetchNext(ctx *threadCtx) {
+	pre, desc, ok := ctx.prog.Next()
+	if !ok {
+		if ctx.tx != nil {
+			panic("sim: program finished with open transaction")
+		}
+		r.mac.ThreadExit(ctx.th)
+		if r.mac.LiveThreads() == 0 {
+			r.makespan = r.eng.Now()
+		}
+		return
+	}
+	ctx.desc = desc
+	ctx.attempts = 0
+	ctx.execStart = -1
+	ctx.pendingPre = pre
+	r.runNonTx(ctx)
+}
+
+// runNonTx burns the pre-transaction compute in preemptible chunks.
+func (r *Runner) runNonTx(ctx *threadCtx) {
+	if ctx.pendingPre <= 0 {
+		r.tryBegin(ctx)
+		return
+	}
+	chunk := ctx.pendingPre
+	if chunk > r.cfg.NonTxChunk {
+		chunk = r.cfg.NonTxChunk
+	}
+	ctx.pendingPre -= chunk
+	ctx.th.Charge(CatNonTx, chunk)
+	r.eng.After(chunk, func() {
+		ctx.resume = func() { r.runNonTx(ctx) }
+		if r.maybePreempt(ctx) {
+			return
+		}
+		r.runNonTx(ctx)
+	})
+}
+
+// tryBegin consults the contention manager and acts on its decision.
+func (r *Runner) tryBegin(ctx *threadCtx) {
+	if ctx.execStart < 0 {
+		ctx.execStart = r.eng.Now()
+	}
+	res := r.mgr.OnBegin(ctx.tid, ctx.desc.STx)
+	if res.Overhead > 0 {
+		ctx.th.Charge(CatScheduling, res.Overhead)
+	}
+	if res.Action == sched.Proceed {
+		// The begin broadcast is atomic with the predictor's decision
+		// ("when a transaction is allowed to execute, it broadcasts onto
+		// the interconnect the dTxID"): the slot becomes visible to other
+		// predictors immediately, which serializes same-instant begins.
+		r.setSlot(r.cpuOf(ctx), r.dtxOf(ctx))
+	}
+	r.eng.After(res.Overhead, func() {
+		switch res.Action {
+		case sched.Proceed:
+			r.startTx(ctx)
+		case sched.SpinWait:
+			r.emit(ctx, trace.KSuspend, res.WaitDTx, 0)
+			r.beginSpin(ctx, res.WaitDTx, 20)
+		case sched.YieldRetry:
+			r.emit(ctx, trace.KSuspend, res.WaitDTx, 0)
+			ctx.resume = func() { r.tryBegin(ctx) }
+			r.mac.ThreadYield(ctx.th)
+		case sched.Block:
+			ctx.resume = func() { r.tryBegin(ctx) }
+			r.mac.ThreadBlock(ctx.th)
+		}
+	})
+}
+
+// beginSpin busy-waits until waitDTx is no longer active, then re-runs the
+// begin (which re-predicts, as the paper's re-executed TX_BEGIN does).
+// grace bounds how long to wait for a transaction that was announced on
+// the interconnect but has not reached the TM yet (it is still paying its
+// begin overhead); waiting it out without re-running the predictor keeps
+// the announce window from draining confidence through repeated suspends.
+func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
+	if !r.sys.Active(waitDTx) {
+		const recheck = 30
+		ctx.th.Charge(CatScheduling, recheck)
+		if grace > 0 {
+			r.eng.After(recheck, func() { r.beginSpin(ctx, waitDTx, grace-1) })
+		} else {
+			// Stale announcement (the transaction ended or never started):
+			// re-execute TX_BEGIN.
+			r.eng.After(recheck, func() { r.tryBegin(ctx) })
+		}
+		return
+	}
+	ctx.state = stBeginSpin
+	ctx.waitGen++
+	ctx.waitDTx = waitDTx
+	ctx.chargeMark = r.eng.Now()
+	r.beginWaiters[waitDTx] = append(r.beginWaiters[waitDTx], ctx)
+	r.scheduleBeginSpinCheck(ctx, ctx.waitGen)
+}
+
+// scheduleBeginSpinCheck arranges the next preemption check while spinning
+// at begin: the earliest instant ShouldPreempt could become true.
+func (r *Runner) scheduleBeginSpinCheck(ctx *threadCtx, gen uint64) {
+	wait := ctx.th.dispatchedAt + r.mac.Costs.Quantum - r.eng.Now()
+	if wait < 1 {
+		wait = 1
+	}
+	r.eng.After(wait, func() {
+		if ctx.waitGen != gen || ctx.state != stBeginSpin {
+			return
+		}
+		r.chargeSpin(ctx, CatScheduling)
+		if r.mac.ShouldPreempt(ctx.th) {
+			// The OS timer preempts the spinner; on redispatch it
+			// re-executes TX_BEGIN.
+			ctx.state = stIdle
+			ctx.waitGen++
+			r.dropBeginWaiter(ctx)
+			ctx.resume = func() { r.tryBegin(ctx) }
+			r.mac.Preempt(ctx.th)
+			return
+		}
+		r.scheduleBeginSpinCheck(ctx, gen)
+	})
+}
+
+func (r *Runner) dropBeginWaiter(ctx *threadCtx) {
+	ws := r.beginWaiters[ctx.waitDTx]
+	for i, c := range ws {
+		if c == ctx {
+			r.beginWaiters[ctx.waitDTx] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// chargeSpin charges the elapsed spin interval to a category and resets
+// the mark.
+func (r *Runner) chargeSpin(ctx *threadCtx, cat Category) {
+	d := r.eng.Now() - ctx.chargeMark
+	if d > 0 {
+		ctx.th.Charge(cat, d)
+		if cat == CatTx {
+			ctx.txCycles += d
+		}
+		ctx.chargeMark = r.eng.Now()
+	}
+}
+
+// startTx begins the hardware transaction.
+func (r *Runner) startTx(ctx *threadCtx) {
+	dtx := r.dtxOf(ctx)
+	ctx.tx = r.sys.Begin(ctx.tid, ctx.desc.STx, dtx)
+	ctx.attempts++
+	ctx.accIdx = 0
+	ctx.txCycles = 0
+	n := int64(len(ctx.desc.Accesses)) + 1
+	ctx.gap = ctx.desc.BodyCycles / n
+	ctx.th.Charge(CatTx, r.cfg.TMCosts.Begin)
+	ctx.txCycles += r.cfg.TMCosts.Begin
+	r.emit(ctx, trace.KBegin, -1, 0)
+	r.setSlot(r.cpuOf(ctx), dtx)
+	r.eng.After(r.cfg.TMCosts.Begin, func() { r.stepAccess(ctx) })
+}
+
+// stepAccess executes the next transactional access (or commits).
+func (r *Runner) stepAccess(ctx *threadCtx) {
+	if ctx.tx.Doomed {
+		r.abortTx(ctx)
+		return
+	}
+	if ctx.accIdx >= len(ctx.desc.Accesses) {
+		r.commitTx(ctx)
+		return
+	}
+	// Compute gap, then the access itself.
+	d := ctx.gap + r.cfg.TMCosts.Access
+	ctx.th.Charge(CatTx, d)
+	ctx.txCycles += d
+	r.eng.After(d, func() {
+		if ctx.tx.Doomed {
+			r.abortTx(ctx)
+			return
+		}
+		acc := ctx.desc.Accesses[ctx.accIdx]
+		res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
+		switch {
+		case res.OK:
+			ctx.accIdx++
+			ctx.resume = func() { r.stepAccess(ctx) }
+			if r.maybePreempt(ctx) {
+				return
+			}
+			r.stepAccess(ctx)
+		case res.Holder != nil:
+			r.lineStall(ctx, res.Holder)
+		default: // doomed by deadlock resolution
+			r.abortTx(ctx)
+		}
+	})
+}
+
+// lineStall handles a NACK: spin on the line until the holder releases or
+// the stall budget runs out (then abort). Reactive managers implementing
+// sched.StallPolicy replace the default budget with their own patience
+// discipline (Polite/Karma/Timestamp).
+func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
+	ctx.state = stLineStall
+	ctx.waitGen++
+	gen := ctx.waitGen
+	ctx.holder = holder
+	ctx.chargeMark = r.eng.Now()
+	r.emit(ctx, trace.KStall, holder.DTx, 0)
+	r.stallWaiters[holder] = append(r.stallWaiters[holder], ctx)
+	budget := r.cfg.TMCosts.StallTimeout
+	if sp, ok := r.mgr.(sched.StallPolicy); ok {
+		budget = sp.StallBudget(sched.StallInfo{
+			ReqTid:     ctx.tid,
+			ReqStx:     ctx.desc.STx,
+			ReqWork:    ctx.tx.NumLines(),
+			HolderWork: holder.NumLines(),
+			ReqSeq:     ctx.tx.Seq,
+			HolderSeq:  holder.Seq,
+			Attempts:   ctx.attempts - 1,
+		})
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	r.eng.After(budget, func() {
+		if ctx.waitGen != gen || ctx.state != stLineStall {
+			return
+		}
+		// Timed out: give up and abort (LogTM's conservative discipline).
+		r.chargeSpin(ctx, CatTx)
+		ctx.state = stIdle
+		ctx.waitGen++
+		r.dropStallWaiter(ctx)
+		// Attribute the conflict to the holder we stalled behind.
+		if ctx.tx != nil && !ctx.tx.Doomed {
+			ctx.tx.DoomedByTid = holder.Thread
+			ctx.tx.DoomedByStx = holder.STx
+		}
+		r.abortTx(ctx)
+	})
+}
+
+func (r *Runner) dropStallWaiter(ctx *threadCtx) {
+	ws := r.stallWaiters[ctx.holder]
+	for i, c := range ws {
+		if c == ctx {
+			r.stallWaiters[ctx.holder] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// onTxReleased wakes every thread stalled behind tx (line stalls retry the
+// access, begin spins retry the begin).
+func (r *Runner) onTxReleased(tx *tm.Tx) {
+	for _, ctx := range r.stallWaiters[tx] {
+		if ctx.state != stLineStall || ctx.holder != tx {
+			continue
+		}
+		r.chargeSpin(ctx, CatTx)
+		ctx.state = stIdle
+		ctx.waitGen++
+		ctx.holder = nil
+		c := ctx
+		r.eng.After(1, func() { r.stepAccess(c) }) // retry the same access
+	}
+	delete(r.stallWaiters, tx)
+
+	for _, ctx := range r.beginWaiters[tx.DTx] {
+		if ctx.state != stBeginSpin || ctx.waitDTx != tx.DTx {
+			continue
+		}
+		r.chargeSpin(ctx, CatScheduling)
+		ctx.state = stIdle
+		ctx.waitGen++
+		ctx.waitDTx = core.NoTx
+		c := ctx
+		r.eng.After(1, func() { r.tryBegin(c) })
+	}
+	delete(r.beginWaiters, tx.DTx)
+}
+
+// onRemoteDoom is tm.System's hook: a transaction other than the requester
+// was doomed by deadlock resolution. If its thread is stalled on a line it
+// must wake immediately and roll back; otherwise the Doomed flag is picked
+// up at the next step boundary.
+func (r *Runner) onRemoteDoom(victim *tm.Tx) {
+	ctx := r.ctxs[victim.Thread]
+	if ctx.tx != victim || ctx.state != stLineStall {
+		return
+	}
+	r.chargeSpin(ctx, CatTx)
+	ctx.state = stIdle
+	ctx.waitGen++
+	r.dropStallWaiter(ctx)
+	ctx.holder = nil
+	c := ctx
+	r.eng.After(1, func() { r.abortTx(c) })
+}
+
+// commitTx finishes the transaction: hardware commit, manager bookkeeping,
+// workload side effects, statistics.
+func (r *Runner) commitTx(ctx *threadCtx) {
+	ctx.th.Charge(CatTx, r.cfg.TMCosts.Commit)
+	ctx.txCycles += r.cfg.TMCosts.Commit
+	r.eng.After(r.cfg.TMCosts.Commit, func() {
+		tx := ctx.tx
+		size := tx.NumLines()
+		if r.cfg.ProfileSimilarity {
+			r.profileCommit(ctx, tx, size)
+		}
+		r.sys.Commit(tx)
+		r.commitsPerStx[ctx.desc.STx]++
+		r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
+		r.attempts.Add(float64(ctx.attempts))
+		r.emit(ctx, trace.KCommit, -1, r.eng.Now()-ctx.execStart)
+		ctx.tx = nil
+		r.setSlot(r.cpuOf(ctx), core.NoTx)
+		r.onTxReleased(tx)
+
+		overhead := r.mgr.OnCommit(ctx.tid, ctx.desc.STx, tx.Lines, tx.WriteLines, size)
+		r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, true)
+		if ctx.desc.OnCommit != nil {
+			ctx.desc.OnCommit()
+		}
+		if overhead > 0 {
+			ctx.th.Charge(CatScheduling, overhead)
+		}
+		r.eng.After(overhead, func() {
+			ctx.resume = func() { r.fetchNext(ctx) }
+			if r.maybePreempt(ctx) {
+				return
+			}
+			r.fetchNext(ctx)
+		})
+	})
+}
+
+// profileCommit records exact Eq. 1 similarity for Table 1.
+func (r *Runner) profileCommit(ctx *threadCtx, tx *tm.Tx, size int) {
+	stx := ctx.desc.STx
+	set := bloom.NewExactSet()
+	tx.Lines(set.Add)
+	ctx.sizeSum[stx] += float64(size)
+	ctx.sizeCnt[stx]++
+	if prev := ctx.prevSet[stx]; prev != nil {
+		avg := ctx.sizeSum[stx] / float64(ctx.sizeCnt[stx])
+		if avg > 0 {
+			sim := float64(set.IntersectionLen(prev)) / avg
+			if sim > 1 {
+				sim = 1
+			}
+			r.simSum[stx] += sim
+			r.simCnt[stx]++
+		}
+	}
+	ctx.prevSet[stx] = set
+}
+
+// abortTx rolls the transaction back: wasted work is recategorized from Tx
+// to Abort, the undo-log walk and the manager's backoff are charged, and
+// the begin is retried.
+func (r *Runner) abortTx(ctx *threadCtx) {
+	tx := ctx.tx
+	// Recategorize this attempt's transactional cycles as wasted.
+	ctx.th.Charge(CatTx, -ctx.txCycles)
+	ctx.th.Charge(CatAbort, ctx.txCycles)
+	ctx.txCycles = 0
+
+	r.emit(ctx, trace.KAbort, r.cfg.Workload.NumStatic()*tx.DoomedByTid+tx.DoomedByStx, 0)
+	rollback := r.cfg.TMCosts.RollbackBase + r.cfg.TMCosts.RollbackPerLine*int64(tx.NumWrites())
+	ctx.th.Charge(CatAbort, rollback)
+	r.eng.After(rollback, func() {
+		r.sys.Abort(tx)
+		ctx.tx = nil
+		r.setSlot(r.cpuOf(ctx), core.NoTx)
+		r.onTxReleased(tx)
+
+		ab := r.mgr.OnAbort(ctx.tid, ctx.desc.STx, tx.DoomedByTid, tx.DoomedByStx, ctx.attempts)
+		r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
+		ctx.th.Charge(CatScheduling, ab.Overhead)
+		ctx.th.Charge(CatAbort, ab.Backoff)
+		r.eng.After(ab.Overhead+ab.Backoff, func() {
+			ctx.resume = func() { r.tryBegin(ctx) }
+			if r.maybePreempt(ctx) {
+				return
+			}
+			r.tryBegin(ctx)
+		})
+	})
+}
+
+// Run executes the simulation to completion and returns its measurements.
+func (r *Runner) Run() *Result {
+	r.mac.Start()
+	r.eng.Run(func() bool {
+		if r.cfg.MaxCycles > 0 && r.eng.Now() > r.cfg.MaxCycles {
+			r.timedOut = true
+			return true
+		}
+		return r.mac.LiveThreads() == 0
+	})
+	if r.makespan == 0 {
+		r.makespan = r.eng.Now()
+	}
+	r.mac.FinishIdle(r.makespan)
+
+	res := &Result{
+		ManagerName:       r.mgr.Name(),
+		WorkloadName:      r.cfg.Workload.Name(),
+		Makespan:          r.makespan,
+		Commits:           r.sys.Commits(),
+		Aborts:            r.sys.Aborts(),
+		ConflictMatrix:    r.sys.ConflictMatrix(),
+		CommitsPerStx:     r.commitsPerStx,
+		Latency:           r.latency,
+		AttemptsPerCommit: r.attempts,
+		TimedOut:          r.timedOut,
+	}
+	for _, ctx := range r.ctxs {
+		res.Breakdown.Merge(&ctx.th.Acct)
+	}
+	res.Breakdown.Add(CatIdle, r.mac.IdleCycles())
+	if r.cfg.ProfileSimilarity {
+		res.Similarity = make([]float64, len(r.simSum))
+		for i := range r.simSum {
+			if r.simCnt[i] > 0 {
+				res.Similarity[i] = r.simSum[i] / float64(r.simCnt[i])
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestRunnerEmitsTrace(t *testing.T) {
+	w := newSynth("traced", 1, 20, 4)
+	w.pick = func(tid, i int, rng *workload.RNG) int { return rng.Intn(4) }
+	w.body = 600
+	rec := &trace.Recorder{Cap: 100000}
+	r := NewRunner(RunConfig{
+		Cores: 4, ThreadsPerCore: 4, Seed: 42,
+		Workload:   w,
+		NewManager: managerFactory("bfgts-hw"),
+		MaxCycles:  2_000_000_000,
+		Trace:      rec,
+	})
+	res := r.Run()
+	c := rec.Counts()
+	if c[trace.KCommit] != res.Commits {
+		t.Fatalf("trace commits = %d, result commits = %d", c[trace.KCommit], res.Commits)
+	}
+	if c[trace.KAbort] != res.Aborts {
+		t.Fatalf("trace aborts = %d, result aborts = %d", c[trace.KAbort], res.Aborts)
+	}
+	if c[trace.KBegin] != res.Commits+res.Aborts {
+		t.Fatalf("trace begins = %d, want commits+aborts = %d", c[trace.KBegin], res.Commits+res.Aborts)
+	}
+	// Times are monotone non-decreasing in record order.
+	prev := int64(-1)
+	for _, e := range rec.Events() {
+		if e.Time < prev {
+			t.Fatalf("trace time went backwards: %d after %d", e.Time, prev)
+		}
+		prev = e.Time
+	}
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"kind":"commit"`) {
+		t.Fatal("JSONL trace missing commits")
+	}
+}
+
+func TestRunnerLatencyHistograms(t *testing.T) {
+	w := newSynth("lat", 2, 30, 4)
+	w.stxOf = func(tid, i int) int { return i % 2 }
+	w.pick = func(tid, i int, rng *workload.RNG) int { return tid*500 + i }
+	res := runSynth(t, w, "backoff", 4, 2)
+	for s := 0; s < 2; s++ {
+		h := &res.Latency[s]
+		if h.N() != res.CommitsPerStx[s] {
+			t.Fatalf("stx %d latency samples %d != commits %d", s, h.N(), res.CommitsPerStx[s])
+		}
+		if h.Mean() <= 0 {
+			t.Fatalf("stx %d zero mean latency", s)
+		}
+		if h.Percentile(50) > h.Percentile(99) {
+			t.Fatal("latency percentiles not monotone")
+		}
+	}
+	if res.AttemptsPerCommit.N() != res.Commits {
+		t.Fatal("attempts summary sample count mismatch")
+	}
+	if res.AttemptsPerCommit.Min() < 1 {
+		t.Fatalf("committed execution with %v attempts", res.AttemptsPerCommit.Min())
+	}
+}

@@ -1,0 +1,129 @@
+// Package stamp contains synthetic reconstructions of the seven STAMP
+// benchmarks the paper evaluates (Table 3): delaunay, genome, kmeans,
+// vacation, intruder, ssca2 and labyrinth.
+//
+// A contention manager can only observe a benchmark through its
+// transactions' read/write sets, conflict pattern, sizes and arrival
+// rhythm, so each kernel here is engineered to reproduce the observable
+// structure the paper reports for its namesake:
+//
+//   - the conflict-graph shape of Table 1 (which static transactions
+//     conflict with which),
+//   - the per-static-transaction similarity of Table 1 (how much of each
+//     transaction's footprint repeats across executions),
+//   - the baseline contention level of Table 4 (how often transactions
+//     abort under a plain backoff manager), and
+//   - the transaction-size regime (Ssca2's few-line transactions through
+//     Labyrinth's hundred-line grid reservations).
+//
+// Every kernel is deterministic given its seed, splits a fixed total
+// transaction count across threads, and mutates its generator state (queue
+// cursors, table occupancy) only in OnCommit callbacks, so aborted
+// attempts replay identical descriptors.
+package stamp
+
+import "repro/internal/workload"
+
+// genFunc fabricates the i-th transaction of a thread.
+type genFunc func(tid, i int, rng *workload.RNG) (pre int64, desc *workload.TxDesc)
+
+// program is the shared thread-program implementation: count transactions
+// from a generator.
+type program struct {
+	gen   genFunc
+	tid   int
+	rng   *workload.RNG
+	count int
+	i     int
+}
+
+func (p *program) Next() (int64, *workload.TxDesc, bool) {
+	if p.i >= p.count {
+		return 0, nil, false
+	}
+	pre, desc := p.gen(p.tid, p.i, p.rng)
+	p.i++
+	return pre, desc, true
+}
+
+// share splits total work across threads: thread tid of n gets the i-th
+// slice, with remainders spread over the first threads.
+func share(total, tid, n int) int {
+	base := total / n
+	if tid < total%n {
+		base++
+	}
+	return base
+}
+
+// builder accumulates a transaction's accesses in read-then-write order.
+type builder struct {
+	desc *workload.TxDesc
+	seen map[uint64]bool
+}
+
+func newTx(stx int, body int64) *builder {
+	return &builder{
+		desc: &workload.TxDesc{STx: stx, BodyCycles: body},
+		seen: make(map[uint64]bool, 16),
+	}
+}
+
+// read appends a read of addr (deduplicated).
+func (b *builder) read(addr uint64) *builder {
+	if !b.seen[addr] {
+		b.seen[addr] = true
+		b.desc.Accesses = append(b.desc.Accesses, workload.Access{Addr: addr})
+	}
+	return b
+}
+
+// write appends a write of addr. If the line was read earlier this is the
+// upgrade that makes concurrent conflicting transactions deadlock-prone,
+// exactly as read-modify-write critical sections behave on LogTM.
+func (b *builder) write(addr uint64) *builder {
+	b.desc.Accesses = append(b.desc.Accesses, workload.Access{Addr: addr, Write: true})
+	b.seen[addr] = true
+	return b
+}
+
+// readSpan reads n consecutive lines of a region starting at line base.
+func (b *builder) readSpan(r workload.Region, base, n int) *builder {
+	for j := 0; j < n; j++ {
+		b.read(r.Line(base + j))
+	}
+	return b
+}
+
+// build finalizes the descriptor.
+func (b *builder) build() *workload.TxDesc { return b.desc }
+
+// onCommit attaches a side-effect callback.
+func (b *builder) onCommit(fn func()) *builder {
+	b.desc.OnCommit = fn
+	return b
+}
+
+// All returns factories for the full STAMP suite at their default scales,
+// in the paper's presentation order.
+func All() []workload.Factory {
+	return []workload.Factory{
+		NewDelaunay(),
+		NewGenome(),
+		NewKmeans(),
+		NewVacation(),
+		NewIntruder(),
+		NewSsca2(),
+		NewLabyrinth(),
+	}
+}
+
+// ByName returns the factory for a benchmark name, or false.
+func ByName(name string) (workload.Factory, bool) {
+	for _, f := range All() {
+		if f.Name() == name {
+			return f, true
+		}
+	}
+	return workload.Factory{}, false
+}

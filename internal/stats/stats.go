@@ -1,0 +1,216 @@
+// Package stats provides the small statistics toolkit the simulator's
+// observability is built on: streaming summaries (count/mean/min/max),
+// log-scaled histograms with percentile queries, and exponentially
+// weighted moving averages. Everything is allocation-light and
+// deterministic so it can run inside the hot commit path of a simulation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Summary accumulates count, mean, min, max and variance (Welford).
+type Summary struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasSamples || x < s.min {
+		s.min = x
+	}
+	if !s.hasSamples || x > s.max {
+		s.max = x
+	}
+	s.hasSamples = true
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min and Max return the extremes (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	s.m2 = s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	s.mean = mean
+	s.n = n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f max=%.0f",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a base-2 log-scaled histogram of non-negative integers
+// (cycle counts, set sizes). Bucket i covers [2^(i-1), 2^i) with bucket 0
+// covering {0}. Percentiles are approximate to within a factor of 2 — the
+// right precision for latency distributions spanning orders of magnitude.
+type Histogram struct {
+	buckets [65]int64
+	total   int64
+	sum     float64
+}
+
+// Add records a sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.total++
+	h.sum += float64(v)
+}
+
+func bucketOf(v int64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the exact mean of the samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile returns an upper bound of the p-th percentile (p in [0,100]):
+// the top of the bucket where the p-th sample falls.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << i) - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Sparkline renders the occupied range as a compact ASCII bar chart.
+func (h *Histogram) Sparkline() string {
+	lo, hi := -1, -1
+	var peak int64
+	for i, c := range h.buckets {
+		if c > 0 {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	if lo == -1 {
+		return "(empty)"
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		idx := int(float64(h.buckets[i]) / float64(peak) * float64(len(glyphs)-1))
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// EWMA is an exponentially weighted moving average with weight alpha for
+// history (alpha in (0,1); higher = smoother).
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA constructs an EWMA; alpha outside (0,1) panics.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: EWMA alpha must be in (0,1)")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds in a sample; the first sample primes the average.
+func (e *EWMA) Add(x float64) {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*x
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }

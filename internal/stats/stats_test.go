@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if s.N() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("summary = %v", s.String())
+	}
+	if sd := s.StdDev(); math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", sd)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zeroed")
+	}
+}
+
+func TestSummaryMergeMatchesCombined(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		var sa, sb, sAll Summary
+		for _, x := range a {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // near-overflow magnitudes lose associativity
+			}
+			sa.Add(x)
+			sAll.Add(x)
+		}
+		for _, x := range b {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // near-overflow magnitudes lose associativity
+			}
+			sb.Add(x)
+			sAll.Add(x)
+		}
+		sa.Merge(&sb)
+		if sa.N() != sAll.N() {
+			return false
+		}
+		if sa.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(sAll.Mean()))
+		return math.Abs(sa.Mean()-sAll.Mean()) < 1e-6*scale &&
+			math.Abs(sa.Min()-sAll.Min()) < 1e-9 &&
+			math.Abs(sa.Max()-sAll.Max()) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if mean := h.Mean(); math.Abs(mean-500.5) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Log-scaled: percentile returns the bucket top, within 2x of truth.
+	p50 := h.Percentile(50)
+	if p50 < 500 || p50 > 1024 {
+		t.Fatalf("p50 = %d, want within a bucket of 500", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 < 1000 || p100 > 1024 {
+		t.Fatalf("p100 = %d", p100)
+	}
+	if h.Percentile(0) > h.Percentile(100) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(-5) // clamped
+	if h.N() != 2 || h.Percentile(100) != 0 {
+		t.Fatalf("zero handling broken: n=%d p100=%d", h.N(), h.Percentile(100))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Sparkline() != "(empty)" {
+		t.Fatal("empty histogram misbehaves")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Add(10)
+		b.Add(1000)
+	}
+	a.Merge(&b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if a.Percentile(25) > 16 || a.Percentile(75) < 512 {
+		t.Fatalf("merged percentiles wrong: p25=%d p75=%d", a.Percentile(25), a.Percentile(75))
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	prop := func(samples []uint16, p float64) bool {
+		var h Histogram
+		var maxV int64
+		for _, s := range samples {
+			v := int64(s)
+			h.Add(v)
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if len(samples) == 0 {
+			return h.Percentile(p) == 0
+		}
+		got := h.Percentile(p)
+		// Upper-bound property: never below the true value's bucket floor,
+		// never above the max's bucket top.
+		return got >= 0 && got <= (int64(1)<<bucketOf(maxV))-1+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(int64(rng.Intn(100) + 100))
+	}
+	if s := h.Sparkline(); len(s) == 0 || s == "(empty)" {
+		t.Fatalf("sparkline = %q", s)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("unprimed EWMA not zero")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatal("first sample must prime")
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}

@@ -1,0 +1,178 @@
+package stm
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the contention-management layer of the STM: the same three
+// hooks the simulator's managers implement (begin, abort, commit), executed
+// in real time on goroutines.
+
+// pressureScale is the fixed-point unit for atomically stored ATS
+// conflict-pressure values.
+const pressureScale = 1 << 16
+
+// schedRand is the jitter source for backoff windows.
+var schedRand = struct {
+	sync.Mutex
+	r *rand.Rand
+}{r: rand.New(rand.NewSource(0x6b66677473))}
+
+func jitter(n int64) time.Duration {
+	schedRand.Lock()
+	v := schedRand.r.Int63n(n)
+	schedRand.Unlock()
+	return time.Duration(v)
+}
+
+// scheduleBegin blocks until the scheduler allows the attempt to start.
+func (s *System) scheduleBegin(worker, stx, dtx, attempt int) {
+	switch s.cfg.Scheduler {
+	case SchedBackoff:
+		// Nothing at begin time.
+	case SchedATS:
+		s.atsBegin(stx)
+	case SchedBFGTS:
+		s.bfgtsBegin(worker, stx, dtx)
+	}
+}
+
+// atsBegin throttles by sleeping while the static transaction's pressure
+// exceeds the threshold and another high-pressure transaction is running —
+// a queue-free rendering of the central wait queue that preserves its
+// serialize-under-pressure behavior.
+func (s *System) atsBegin(stx int) {
+	for {
+		p := float64(s.pressure[stx].Load()) / pressureScale
+		if p <= s.cfg.PressureThreshold {
+			return
+		}
+		busy := false
+		for w := range s.running {
+			if d := s.running[w].Load(); d != int64(core.NoTx) {
+				other := int(d) % s.cfg.StaticTxs
+				if float64(s.pressure[other].Load())/pressureScale > s.cfg.PressureThreshold {
+					busy = true
+					break
+				}
+			}
+		}
+		if !busy {
+			return
+		}
+		time.Sleep(2*time.Microsecond + jitter(int64(2*time.Microsecond)))
+	}
+}
+
+// bfgtsBegin runs the paper's begin-time prediction (Example 1 in
+// software) and suspend policy (Example 2) against the worker table.
+func (s *System) bfgtsBegin(worker, stx, dtx int) {
+	for {
+		table := make([]int, len(s.running))
+		for w := range s.running {
+			table[w] = int(s.running[w].Load())
+		}
+		s.mu.Lock()
+		pred := s.rt.PredictSW(stx, table, worker)
+		var dec core.SuspendDecision
+		if pred.Conflict {
+			dec = s.rt.SuspendTx(dtx, pred.WaitDTx)
+		}
+		s.mu.Unlock()
+		if !pred.Conflict {
+			return
+		}
+		if dec.Yield {
+			// The predicted enemy is historically large: give up the OS
+			// slice and re-predict when we run again.
+			time.Sleep(5*time.Microsecond + jitter(int64(5*time.Microsecond)))
+			continue
+		}
+		// Small enemy: spin-stall until that dynamic transaction ends,
+		// then re-execute the begin (stallOnTx in Example 2).
+		enemyWorker := pred.WaitDTx / s.cfg.StaticTxs
+		for s.running[enemyWorker].Load() == int64(pred.WaitDTx) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// onAbort strengthens conflict confidence (Example 3) and backs off.
+func (s *System) onAbort(tx *Tx, attempt int) {
+	switch s.cfg.Scheduler {
+	case SchedATS:
+		s.bumpPressure(tx.stx, true)
+		if enemy := tx.enemy; enemy >= 0 {
+			s.bumpPressure(int(enemy)%s.cfg.StaticTxs, true)
+		}
+	case SchedBFGTS:
+		if enemy := tx.enemy; enemy >= 0 {
+			s.mu.Lock()
+			s.rt.TxConflict(tx.dtx, int(enemy))
+			s.mu.Unlock()
+		}
+	}
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	window := int64(200) << shift // nanoseconds
+	time.Sleep(time.Duration(window)/2 + jitter(window))
+}
+
+// onCommit performs commit-time bookkeeping (Example 4 for BFGTS).
+func (s *System) onCommit(tx *Tx) {
+	switch s.cfg.Scheduler {
+	case SchedATS:
+		s.bumpPressure(tx.stx, false)
+	case SchedBFGTS:
+		s.mu.Lock()
+		s.rt.CommitTx(tx.dtx, func(emit func(uint64)) {
+			for v := range tx.reads {
+				emit(tvarKey(v))
+			}
+			for v := range tx.writes {
+				emit(tvarKey(v))
+			}
+		}, func(emit func(uint64)) {
+			for v := range tx.writes {
+				emit(tvarKey(v))
+			}
+		}, tx.footprint())
+		s.mu.Unlock()
+	}
+}
+
+// bumpPressure folds a conflict (up) or commit (down) event into the ATS
+// moving average with alpha 0.7.
+func (s *System) bumpPressure(stx int, conflict bool) {
+	for {
+		old := s.pressure[stx].Load()
+		target := old * 7 / 10
+		if conflict {
+			target += pressureScale * 3 / 10
+		}
+		if s.pressure[stx].CompareAndSwap(old, target) {
+			return
+		}
+	}
+}
+
+// footprint counts distinct TVars touched.
+func (t *Tx) footprint() int {
+	n := len(t.writes)
+	for v := range t.reads {
+		if _, w := t.writes[v]; !w {
+			n++
+		}
+	}
+	return n
+}
+
+// Runtime exposes the BFGTS state for inspection (similarity, confidence).
+func (s *System) Runtime() *core.Runtime { return s.rt }

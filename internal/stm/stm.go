@@ -1,0 +1,327 @@
+// Package stm is a runnable software transactional memory for Go programs
+// with BFGTS-style scheduling. It exists because the paper's system is a
+// hardware TM inside a simulator: this package gives the library a real
+// concurrent API exercising the same contention-management machinery
+// (internal/core) on live goroutines.
+//
+// The TM itself is a word-based STM in the TL2 tradition: a global version
+// clock, per-TVar versioned locks, lazy versioning (writes buffered until
+// commit), commit-time locking in a canonical order and read-set
+// validation. The contention manager plugs in at the same three points as
+// in the simulator: transaction begin (predict-and-serialize), abort
+// (confidence strengthening) and commit (Bloom-filter similarity
+// bookkeeping).
+//
+// Usage:
+//
+//	sys := stm.NewSystem(stm.Config{Workers: 8, StaticTxs: 2, Scheduler: stm.SchedBFGTS})
+//	acct := stm.NewTVar(100)
+//	err := sys.Atomic(workerID, 0, func(tx *stm.Tx) error {
+//		bal := acct.Read(tx)
+//		acct.Write(tx, bal-10)
+//		return nil
+//	})
+//
+// The function passed to Atomic may run several times (on conflict); it
+// must not have side effects other than TVar reads and writes.
+package stm
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// SchedulerKind selects the contention manager.
+type SchedulerKind int
+
+// Available schedulers.
+const (
+	// SchedBackoff retries with randomized exponential backoff.
+	SchedBackoff SchedulerKind = iota
+	// SchedATS throttles through a central queue above a conflict-pressure
+	// threshold (Yoo & Lee).
+	SchedATS
+	// SchedBFGTS runs the paper's BFGTS-SW: begin-time prediction against
+	// the worker table with Bloom-filter similarity bookkeeping.
+	SchedBFGTS
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Workers is the number of concurrent transaction slots; each
+	// goroutine using the system claims a worker ID in [0, Workers).
+	Workers int
+	// StaticTxs is the number of distinct atomic blocks in the program.
+	StaticTxs int
+	Scheduler SchedulerKind
+	// BloomBits sizes the BFGTS read/write-set filters (default 1024).
+	BloomBits int
+	// PressureThreshold tunes SchedATS (default 0.5).
+	PressureThreshold float64
+}
+
+// System owns the scheduling state shared by all transactions.
+type System struct {
+	cfg Config
+
+	// running[w] holds the dTxID executing on worker w, or core.NoTx.
+	running []atomic.Int64
+
+	// mu guards rt (the BFGTS runtime is single-threaded by design — in
+	// hardware it is per-CPU registers and snooped tables).
+	mu sync.Mutex
+	rt *core.Runtime
+
+	pressure []atomic.Int64 // fixed-point ATS conflict pressure per stx
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// NewSystem builds a System.
+func NewSystem(cfg Config) *System {
+	if cfg.Workers <= 0 || cfg.StaticTxs <= 0 {
+		panic("stm: Config needs positive Workers and StaticTxs")
+	}
+	if cfg.BloomBits == 0 {
+		cfg.BloomBits = 1024
+	}
+	if cfg.PressureThreshold == 0 {
+		cfg.PressureThreshold = 0.5
+	}
+	ccfg := core.DefaultConfig(cfg.Workers, cfg.StaticTxs)
+	ccfg.BloomBits = cfg.BloomBits
+	s := &System{
+		cfg:      cfg,
+		running:  make([]atomic.Int64, cfg.Workers),
+		rt:       core.NewRuntime(ccfg, core.DefaultCosts()),
+		pressure: make([]atomic.Int64, cfg.StaticTxs),
+	}
+	for i := range s.running {
+		s.running[i].Store(int64(core.NoTx))
+	}
+	return s
+}
+
+// Commits returns the number of committed transactions.
+func (s *System) Commits() int64 { return s.commits.Load() }
+
+// Aborts returns the number of aborted transaction attempts.
+func (s *System) Aborts() int64 { return s.aborts.Load() }
+
+// globalClock is the TL2 version clock shared by all TVars (they can be
+// shared across Systems, so the clock is process-wide).
+var globalClock atomic.Uint64
+
+// tvar is the type-erased TVar core.
+type tvar struct {
+	// version is even when unlocked (the commit timestamp of the current
+	// value) and odd while a committer holds the write lock.
+	version atomic.Uint64
+	val     atomic.Pointer[any]
+	// lastWriter is the dTxID that last committed a write, for conflict
+	// attribution.
+	lastWriter atomic.Int64
+}
+
+// TVar is a transactional variable holding a value of type T.
+type TVar[T any] struct {
+	v tvar
+}
+
+// NewTVar creates a TVar with an initial value.
+func NewTVar[T any](initial T) *TVar[T] {
+	tv := &TVar[T]{}
+	var boxed any = initial
+	tv.v.val.Store(&boxed)
+	tv.v.lastWriter.Store(int64(core.NoTx))
+	return tv
+}
+
+// Read returns the TVar's value inside a transaction.
+func (tv *TVar[T]) Read(tx *Tx) T {
+	got := tx.read(&tv.v)
+	if got == nil {
+		var zero T
+		return zero
+	}
+	return (*got).(T)
+}
+
+// Write buffers a new value for the TVar inside a transaction.
+func (tv *TVar[T]) Write(tx *Tx, val T) {
+	var boxed any = val
+	tx.write(&tv.v, &boxed)
+}
+
+// Peek reads the committed value outside any transaction (for tests and
+// post-run inspection; racy only in the benign read-latest sense).
+func (tv *TVar[T]) Peek() T {
+	return (*tv.v.val.Load()).(T)
+}
+
+// tvarKey gives each TVar a stable identity for lock ordering and for the
+// Bloom-filter signatures (the analogue of a cache-line address).
+func tvarKey(v *tvar) uint64 {
+	return uint64(reflect.ValueOf(v).Pointer())
+}
+
+// Tx is one transaction attempt.
+type Tx struct {
+	sys    *System
+	worker int
+	stx    int
+	dtx    int
+
+	readVersion uint64
+	reads       map[*tvar]uint64
+	writes      map[*tvar]*any
+
+	enemy int64 // dTxID attributed to the last conflict, or core.NoTx
+}
+
+func (t *Tx) read(v *tvar) *any {
+	if val, ok := t.writes[v]; ok {
+		return val
+	}
+	for {
+		v1 := v.version.Load()
+		if v1&1 == 1 || v1 > t.readVersion {
+			t.enemy = v.lastWriter.Load()
+			panic(txAbort{})
+		}
+		val := v.val.Load()
+		if v.version.Load() == v1 {
+			t.reads[v] = v1
+			return val
+		}
+	}
+}
+
+func (t *Tx) write(v *tvar, val *any) {
+	t.writes[v] = val
+}
+
+// txAbort unwinds a doomed attempt through the user function.
+type txAbort struct{}
+
+// Atomic runs fn transactionally as worker `worker` executing static
+// transaction stx, retrying on conflicts until it commits. A non-nil error
+// from fn aborts the transaction (its writes are discarded) and is
+// returned.
+func (s *System) Atomic(worker, stx int, fn func(*Tx) error) error {
+	if worker < 0 || worker >= s.cfg.Workers {
+		panic(fmt.Sprintf("stm: worker %d out of range", worker))
+	}
+	if stx < 0 || stx >= s.cfg.StaticTxs {
+		panic(fmt.Sprintf("stm: static tx %d out of range", stx))
+	}
+	dtx := worker*s.cfg.StaticTxs + stx
+	attempt := 0
+	for {
+		s.scheduleBegin(worker, stx, dtx, attempt)
+		tx := &Tx{
+			sys: s, worker: worker, stx: stx, dtx: dtx,
+			readVersion: globalClock.Load(),
+			reads:       make(map[*tvar]uint64),
+			writes:      make(map[*tvar]*any),
+			enemy:       int64(core.NoTx),
+		}
+		s.running[worker].Store(int64(dtx))
+		err, aborted := tx.run(fn)
+		s.running[worker].Store(int64(core.NoTx))
+		if !aborted {
+			if err == nil {
+				s.commits.Add(1)
+				s.onCommit(tx)
+			}
+			return err
+		}
+		s.aborts.Add(1)
+		attempt++
+		s.onAbort(tx, attempt)
+	}
+}
+
+// run executes one attempt; aborted reports a conflict retry is needed.
+func (t *Tx) run(fn func(*Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbort); ok {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(t); err != nil {
+		return err, false
+	}
+	if !t.commit() {
+		return nil, true
+	}
+	return nil, false
+}
+
+// commit performs TL2 commit: lock the write set in canonical order,
+// validate the read set, publish.
+func (t *Tx) commit() bool {
+	if len(t.writes) == 0 {
+		// Read-only: the read set was validated incrementally against a
+		// fixed readVersion; nothing to publish.
+		return true
+	}
+	locked := make([]*tvar, 0, len(t.writes))
+	order := make([]*tvar, 0, len(t.writes))
+	for v := range t.writes {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return tvarKey(order[i]) < tvarKey(order[j])
+	})
+	release := func() {
+		for _, v := range locked {
+			v.version.Store(v.version.Load() - 1) // restore pre-lock version
+		}
+	}
+	for _, v := range order {
+		ver, ok := t.reads[v]
+		if !ok {
+			ver = v.version.Load()
+			if ver&1 == 1 || ver > t.readVersion {
+				t.enemy = v.lastWriter.Load()
+				release()
+				return false
+			}
+		}
+		if !v.version.CompareAndSwap(ver, ver+1) {
+			t.enemy = v.lastWriter.Load()
+			release()
+			return false
+		}
+		locked = append(locked, v)
+	}
+	// Validate reads not covered by write locks.
+	for v, ver := range t.reads {
+		if _, writes := t.writes[v]; writes {
+			continue
+		}
+		if v.version.Load() != ver {
+			t.enemy = v.lastWriter.Load()
+			release()
+			return false
+		}
+	}
+	commitVersion := globalClock.Add(2)
+	for _, v := range order {
+		v.val.Store(t.writes[v])
+		v.lastWriter.Store(int64(t.dtx))
+		v.version.Store(commitVersion)
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+// Package tm implements the simulated hardware transactional memory that
+// BFGTS schedules on top of. It follows LogTM (Moore et al.): eager
+// version management (old values logged, new values in place, so commits
+// are cheap and aborts pay a rollback walk) and eager conflict detection at
+// cache-line granularity (a requester whose access conflicts with a running
+// transaction is NACKed and stalls).
+//
+// Deadlock among stalled transactions is resolved with a wait-for graph:
+// when adding a stall edge closes a cycle, the youngest transaction in the
+// cycle is doomed and must abort. This is the moral equivalent of LogTM's
+// possible-cycle heuristic, made exact because the simulator has global
+// knowledge.
+//
+// The package is pure bookkeeping: it owns no notion of time. The runner
+// (internal/sim) drives it and charges cycles for stalls and rollbacks.
+package tm
+
+import "fmt"
+
+// Tx is one dynamic transaction attempt.
+type Tx struct {
+	DTx    int // dynamic transaction ID: thread*M + static ID
+	STx    int // static transaction ID (position in the code)
+	Thread int
+
+	// Seq is the global begin order, used as the age for youngest-aborts
+	// deadlock resolution. Lower is older.
+	Seq uint64
+
+	// Doomed marks the transaction as killed by deadlock resolution; the
+	// runner must abort it at the next step boundary.
+	Doomed      bool
+	DoomedByTid int // thread of the transaction it conflicted with
+	DoomedByStx int
+
+	reads  map[uint64]struct{}
+	writes map[uint64]struct{}
+
+	waitFor *Tx // the transaction this one is stalled behind, if any
+}
+
+// NumWrites returns the number of distinct lines written (rollback cost is
+// proportional to this, per LogTM's undo-log walk).
+func (t *Tx) NumWrites() int { return len(t.writes) }
+
+// NumLines returns the read/write-set size in distinct cache lines.
+func (t *Tx) NumLines() int {
+	n := len(t.writes)
+	for a := range t.reads {
+		if _, w := t.writes[a]; !w {
+			n++
+		}
+	}
+	return n
+}
+
+// Lines calls fn for every distinct line in the read/write set.
+func (t *Tx) Lines(fn func(addr uint64)) {
+	for a := range t.writes {
+		fn(a)
+	}
+	for a := range t.reads {
+		if _, w := t.writes[a]; !w {
+			fn(a)
+		}
+	}
+}
+
+// AccessResult reports the outcome of a transactional memory access.
+type AccessResult struct {
+	// OK means the access succeeded and the line is now isolated.
+	OK bool
+	// Holder, when OK is false, is the transaction the requester must stall
+	// behind (it was NACKed). The requester retries after Holder releases
+	// its isolation. If the deadlock resolver doomed the requester instead,
+	// OK is false, Holder is nil, and the requester's Doomed flag is set.
+	Holder *Tx
+}
+
+type line struct {
+	writer  *Tx
+	readers []*Tx
+}
+
+// System is the global conflict-detection state: the line directory and the
+// set of active transactions.
+type System struct {
+	// OnDoom, if set, is called when deadlock resolution dooms a
+	// transaction other than the current requester, so the runner can
+	// interrupt its thread.
+	OnDoom func(*Tx)
+
+	nStatic   int
+	lines     map[uint64]*line
+	active    map[int]*Tx // keyed by DTx
+	seq       uint64
+	conflicts [][]int64 // conflict counts between static IDs (Table 1)
+
+	commits, aborts int64
+}
+
+// NewSystem creates a TM system for a program with nStatic static
+// transactions.
+func NewSystem(nStatic int) *System {
+	c := make([][]int64, nStatic)
+	for i := range c {
+		c[i] = make([]int64, nStatic)
+	}
+	return &System{
+		nStatic:   nStatic,
+		lines:     make(map[uint64]*line),
+		active:    make(map[int]*Tx),
+		conflicts: c,
+	}
+}
+
+// Begin starts a transaction for the given thread and static ID. A thread
+// may only have one active transaction at a time.
+func (s *System) Begin(thread, stx, dtx int) *Tx {
+	if _, dup := s.active[dtx]; dup {
+		panic(fmt.Sprintf("tm: dtx %d already active", dtx))
+	}
+	s.seq++
+	tx := &Tx{
+		DTx:    dtx,
+		STx:    stx,
+		Thread: thread,
+		Seq:    s.seq,
+		reads:  make(map[uint64]struct{}),
+		writes: make(map[uint64]struct{}),
+	}
+	s.active[dtx] = tx
+	return tx
+}
+
+// Active reports whether the dynamic transaction is currently executing.
+func (s *System) Active(dtx int) bool {
+	_, ok := s.active[dtx]
+	return ok
+}
+
+// ActiveTx returns the active transaction with the given dynamic ID, if any.
+func (s *System) ActiveTx(dtx int) *Tx { return s.active[dtx] }
+
+// Commits and Aborts return lifetime counters.
+func (s *System) Commits() int64 { return s.commits }
+
+// Aborts returns the number of aborted transaction attempts.
+func (s *System) Aborts() int64 { return s.aborts }
+
+// ConflictMatrix returns conflict counts between static transaction IDs,
+// the raw data behind the paper's Table 1.
+func (s *System) ConflictMatrix() [][]int64 { return s.conflicts }
+
+// Access performs a transactional read or write of a cache line.
+func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
+	if tx.Doomed {
+		return AccessResult{}
+	}
+	tx.waitFor = nil // a retry clears any previous stall edge
+
+	ln := s.lines[addr]
+	if ln == nil {
+		ln = &line{}
+		s.lines[addr] = ln
+	}
+
+	if ln.writer != nil && ln.writer != tx {
+		return s.conflict(tx, ln.writer)
+	}
+	if write {
+		for _, r := range ln.readers {
+			if r != tx {
+				return s.conflict(tx, r)
+			}
+		}
+		ln.writer = tx
+		tx.writes[addr] = struct{}{}
+		return AccessResult{OK: true}
+	}
+	// Read: writer is nil or self.
+	if _, already := tx.reads[addr]; !already {
+		tx.reads[addr] = struct{}{}
+		found := false
+		for _, r := range ln.readers {
+			if r == tx {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ln.readers = append(ln.readers, tx)
+		}
+	}
+	return AccessResult{OK: true}
+}
+
+// conflict records a requester/holder conflict, installs the stall edge,
+// and resolves any wait-for cycle by dooming the youngest participant.
+func (s *System) conflict(req, holder *Tx) AccessResult {
+	s.conflicts[req.STx][holder.STx]++
+	s.conflicts[holder.STx][req.STx]++
+
+	req.waitFor = holder
+	if victim := s.findCycleVictim(req); victim != nil {
+		// Identify the enemy as the transaction the victim was waiting on
+		// (or the requester, for the holder side of a two-cycle).
+		enemy := victim.waitFor
+		if enemy == nil || enemy == victim {
+			enemy = req
+		}
+		victim.Doomed = true
+		victim.DoomedByTid = enemy.Thread
+		victim.DoomedByStx = enemy.STx
+		victim.waitFor = nil
+		if victim == req {
+			return AccessResult{}
+		}
+		if s.OnDoom != nil {
+			s.OnDoom(victim)
+		}
+	}
+	return AccessResult{Holder: holder}
+}
+
+// findCycleVictim walks the wait-for chain from req. If the chain loops
+// back to req, the youngest transaction on the cycle is returned.
+func (s *System) findCycleVictim(req *Tx) *Tx {
+	victim := req
+	node := req.waitFor
+	steps := 0
+	for node != nil {
+		if node == req {
+			return victim
+		}
+		if node.Seq > victim.Seq {
+			victim = node
+		}
+		node = node.waitFor
+		if steps++; steps > len(s.active)+1 {
+			panic("tm: wait-for walk did not terminate")
+		}
+	}
+	return nil
+}
+
+// Commit finishes a transaction successfully, releasing its isolation.
+func (s *System) Commit(tx *Tx) {
+	if tx.Doomed {
+		panic("tm: committing a doomed transaction")
+	}
+	s.commits++
+	s.release(tx)
+}
+
+// Abort finishes a rolled-back transaction, releasing its isolation. The
+// runner calls this after charging the rollback cost.
+func (s *System) Abort(tx *Tx) {
+	s.aborts++
+	s.release(tx)
+}
+
+func (s *System) release(tx *Tx) {
+	for addr := range tx.writes {
+		if ln := s.lines[addr]; ln != nil && ln.writer == tx {
+			ln.writer = nil
+			if len(ln.readers) == 0 {
+				delete(s.lines, addr)
+			}
+		}
+	}
+	for addr := range tx.reads {
+		ln := s.lines[addr]
+		if ln == nil {
+			continue
+		}
+		for i, r := range ln.readers {
+			if r == tx {
+				ln.readers[i] = ln.readers[len(ln.readers)-1]
+				ln.readers = ln.readers[:len(ln.readers)-1]
+				break
+			}
+		}
+		if ln.writer == nil && len(ln.readers) == 0 {
+			delete(s.lines, addr)
+		}
+	}
+	tx.waitFor = nil
+	delete(s.active, tx.DTx)
+}
+
+// WriteLines calls fn for every distinct line in the write set.
+func (t *Tx) WriteLines(fn func(addr uint64)) {
+	for a := range t.writes {
+		fn(a)
+	}
+}

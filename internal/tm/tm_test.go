@@ -1,0 +1,311 @@
+package tm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func begin(s *System, thread, stx int) *Tx {
+	return s.Begin(thread, stx, thread*8+stx)
+}
+
+func TestReadReadSharing(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	if !s.Access(a, 100, false).OK || !s.Access(b, 100, false).OK {
+		t.Fatal("concurrent readers conflicted")
+	}
+	s.Commit(a)
+	s.Commit(b)
+	if s.Commits() != 2 {
+		t.Fatalf("commits = %d, want 2", s.Commits())
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	if !s.Access(a, 100, true).OK {
+		t.Fatal("first writer NACKed")
+	}
+	res := s.Access(b, 100, true)
+	if res.OK {
+		t.Fatal("second writer not NACKed")
+	}
+	if res.Holder != a {
+		t.Fatalf("holder = %v, want tx a", res.Holder)
+	}
+	// After a commits, b's retry succeeds.
+	s.Commit(a)
+	if !s.Access(b, 100, true).OK {
+		t.Fatal("retry after holder commit still NACKed")
+	}
+	s.Commit(b)
+}
+
+func TestReadThenRemoteWriteConflict(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	s.Access(a, 100, false)
+	res := s.Access(b, 100, true)
+	if res.OK || res.Holder != a {
+		t.Fatal("writer did not stall behind reader")
+	}
+}
+
+func TestWriteThenRemoteReadConflict(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	s.Access(a, 100, true)
+	res := s.Access(b, 100, false)
+	if res.OK || res.Holder != a {
+		t.Fatal("reader did not stall behind writer")
+	}
+}
+
+func TestReadUpgradeToWrite(t *testing.T) {
+	s := NewSystem(1)
+	a := begin(s, 0, 0)
+	s.Access(a, 100, false)
+	if !s.Access(a, 100, true).OK {
+		t.Fatal("sole reader could not upgrade to writer")
+	}
+}
+
+func TestUpgradeBlockedByOtherReader(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	s.Access(a, 100, false)
+	s.Access(b, 100, false)
+	res := s.Access(a, 100, true)
+	if res.OK || res.Holder != b {
+		t.Fatal("upgrade with a second reader present did not stall")
+	}
+}
+
+func TestDeadlockDoomsYoungest(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0) // older
+	b := begin(s, 1, 1) // younger
+	s.Access(a, 1, true)
+	s.Access(b, 2, true)
+	// b waits on a's line: edge b->a.
+	if res := s.Access(b, 1, true); res.OK || res.Holder != a {
+		t.Fatal("expected b to stall behind a")
+	}
+	// a now requests b's line: cycle a->b->a; youngest (b) must be doomed.
+	res := s.Access(a, 2, true)
+	if res.OK {
+		t.Fatal("expected a to stall while b rolls back")
+	}
+	if !b.Doomed {
+		t.Fatal("youngest transaction in cycle not doomed")
+	}
+	if a.Doomed {
+		t.Fatal("oldest transaction doomed")
+	}
+	if b.DoomedByTid != 0 || b.DoomedByStx != 0 {
+		t.Fatalf("doom attribution = (tid %d, stx %d), want (0, 0)", b.DoomedByTid, b.DoomedByStx)
+	}
+	// After b aborts, a's retry succeeds.
+	s.Abort(b)
+	if !s.Access(a, 2, true).OK {
+		t.Fatal("a still NACKed after victim rollback")
+	}
+}
+
+func TestDeadlockDoomsRequesterWhenYoungest(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0) // older
+	b := begin(s, 1, 1) // younger
+	s.Access(a, 1, true)
+	s.Access(b, 2, true)
+	// a waits on b: edge a->b.
+	if res := s.Access(a, 2, true); res.OK || res.Holder != b {
+		t.Fatal("expected a to stall behind b")
+	}
+	// b requests a's line: cycle; b is youngest so b (the requester) dies.
+	res := s.Access(b, 1, true)
+	if res.OK || res.Holder != nil {
+		t.Fatalf("doomed requester result = %+v, want neither OK nor Holder", res)
+	}
+	if !b.Doomed {
+		t.Fatal("requester not doomed")
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	s := NewSystem(3)
+	doomed := 0
+	s.OnDoom = func(*Tx) { doomed++ }
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	c := begin(s, 2, 2)
+	s.Access(a, 1, true)
+	s.Access(b, 2, true)
+	s.Access(c, 3, true)
+	s.Access(a, 2, true) // a->b
+	s.Access(b, 3, true) // b->c
+	s.Access(c, 1, true) // c->a closes cycle; youngest = c (requester)
+	if !c.Doomed {
+		t.Fatal("youngest of three-cycle not doomed")
+	}
+	if a.Doomed || b.Doomed {
+		t.Fatal("wrong victim in three-cycle")
+	}
+	if doomed != 0 {
+		t.Fatal("OnDoom fired for the requester itself")
+	}
+}
+
+func TestOnDoomFiresForRemoteVictim(t *testing.T) {
+	s := NewSystem(2)
+	var victims []*Tx
+	s.OnDoom = func(tx *Tx) { victims = append(victims, tx) }
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	s.Access(a, 1, true)
+	s.Access(b, 2, true)
+	s.Access(b, 1, true) // b->a
+	s.Access(a, 2, true) // closes cycle, b is youngest and is NOT the requester
+	if len(victims) != 1 || victims[0] != b {
+		t.Fatalf("OnDoom victims = %v, want [b]", victims)
+	}
+}
+
+func TestAbortReleasesIsolation(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	s.Access(a, 1, true)
+	s.Access(a, 2, false)
+	s.Abort(a)
+	if s.Aborts() != 1 {
+		t.Fatalf("aborts = %d, want 1", s.Aborts())
+	}
+	b := begin(s, 1, 1)
+	if !s.Access(b, 1, true).OK || !s.Access(b, 2, true).OK {
+		t.Fatal("lines still isolated after abort")
+	}
+}
+
+func TestConflictMatrixRecordsPairs(t *testing.T) {
+	s := NewSystem(3)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 2)
+	s.Access(a, 1, true)
+	s.Access(b, 1, true)
+	m := s.ConflictMatrix()
+	if m[0][2] != 1 || m[2][0] != 1 {
+		t.Fatalf("conflict matrix = %v, want symmetric entry (0,2)", m)
+	}
+	if m[0][0] != 0 {
+		t.Fatal("spurious self-conflict recorded")
+	}
+}
+
+func TestTxSetAccounting(t *testing.T) {
+	s := NewSystem(1)
+	a := begin(s, 0, 0)
+	s.Access(a, 1, false)
+	s.Access(a, 2, true)
+	s.Access(a, 2, true) // duplicate write
+	s.Access(a, 1, false)
+	s.Access(a, 1, true) // upgrade
+	if a.NumWrites() != 2 {
+		t.Fatalf("writes = %d, want 2", a.NumWrites())
+	}
+	if a.NumLines() != 2 {
+		t.Fatalf("lines = %d, want 2", a.NumLines())
+	}
+	seen := map[uint64]bool{}
+	a.Lines(func(addr uint64) { seen[addr] = true })
+	if len(seen) != 2 || !seen[1] || !seen[2] {
+		t.Fatalf("Lines visited %v", seen)
+	}
+}
+
+func TestDuplicateBeginPanics(t *testing.T) {
+	s := NewSystem(1)
+	begin(s, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate dtx Begin did not panic")
+		}
+	}()
+	begin(s, 0, 0)
+}
+
+func TestActiveTracking(t *testing.T) {
+	s := NewSystem(1)
+	a := begin(s, 0, 0)
+	if !s.Active(a.DTx) || s.ActiveTx(a.DTx) != a {
+		t.Fatal("active transaction not tracked")
+	}
+	s.Commit(a)
+	if s.Active(a.DTx) {
+		t.Fatal("committed transaction still active")
+	}
+}
+
+// Property: after any sequence of (begin, access, commit/abort) in which
+// every transaction eventually finishes, the directory is empty.
+func TestPropertyDirectoryDrains(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		s := NewSystem(4)
+		live := map[int]*Tx{}
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // begin
+				if len(live) < 8 {
+					tx := s.Begin(next, int(op)%4, next*4+int(op)%4)
+					live[next] = tx
+					next++
+				}
+			case 1, 2: // access
+				for _, tx := range live {
+					if tx.Doomed {
+						continue
+					}
+					s.Access(tx, uint64(op%64), op%2 == 0)
+					break
+				}
+			case 3: // finish one
+				for id, tx := range live {
+					if tx.Doomed {
+						s.Abort(tx)
+					} else {
+						s.Commit(tx)
+					}
+					delete(live, id)
+					break
+				}
+			}
+		}
+		for _, tx := range live {
+			s.Abort(tx)
+		}
+		return len(s.lines) == 0 && len(s.active) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: isolation — two active transactions never both hold a write on
+// the same line.
+func TestPropertySingleWriter(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+	okA := s.Access(a, 5, true).OK
+	okB := s.Access(b, 5, true).OK
+	if okA && okB {
+		t.Fatal("two simultaneous writers on one line")
+	}
+}

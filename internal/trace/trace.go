@@ -1,0 +1,148 @@
+// Package trace records per-transaction event streams from simulations:
+// begins, predicted-conflict suspensions, NACK stalls, aborts and commits,
+// each stamped with its simulated cycle time. Traces make scheduler
+// dynamics inspectable — e.g. watching BFGTS's confidence oscillate
+// between serialized and optimistic phases on a transient-conflict
+// workload — and are the substrate for offline analysis.
+//
+// The recorder is bounded: beyond Cap events it counts drops instead of
+// growing, so tracing long runs cannot exhaust memory.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Kind labels a transaction lifecycle event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KBegin: a begin attempt started executing (post-scheduling).
+	KBegin Kind = iota
+	// KSuspend: the scheduler serialized the begin behind Other.
+	KSuspend
+	// KStall: a transactional access was NACKed by Other.
+	KStall
+	// KAbort: the attempt rolled back after conflicting with Other.
+	KAbort
+	// KCommit: the execution committed; Extra is its latency in cycles.
+	KCommit
+	numKinds
+)
+
+// String returns the event label used in trace output.
+func (k Kind) String() string {
+	switch k {
+	case KBegin:
+		return "begin"
+	case KSuspend:
+		return "suspend"
+	case KStall:
+		return "stall"
+	case KAbort:
+		return "abort"
+	case KCommit:
+		return "commit"
+	default:
+		return "?"
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Time    int64 // simulated cycle
+	Kind    Kind
+	Tid     int   // thread
+	Stx     int   // static transaction
+	Attempt int   // attempt number within the execution (1-based)
+	Other   int   // dTxID of the counterparty (suspend/stall/abort), -1 otherwise
+	Extra   int64 // kind-specific payload (commit latency)
+}
+
+// Recorder accumulates events up to a cap.
+type Recorder struct {
+	Cap     int // maximum retained events; <=0 means DefaultCap
+	events  []Event
+	dropped int64
+}
+
+// DefaultCap bounds recorders that do not set Cap.
+const DefaultCap = 1 << 20
+
+// Add records an event (or counts a drop past the cap).
+func (r *Recorder) Add(e Event) {
+	cap := r.Cap
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	if len(r.events) >= cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events exceeded the cap.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Counts tallies retained events per kind.
+func (r *Recorder) Counts() map[Kind]int64 {
+	m := make(map[Kind]int64, int(numKinds))
+	for _, e := range r.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// WriteJSONL streams the trace as one JSON object per line. The encoding
+// is hand-rolled (fields are ints and known strings) to keep large traces
+// cheap.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.events {
+		_, err := fmt.Fprintf(bw,
+			`{"t":%d,"kind":%q,"tid":%d,"stx":%d,"attempt":%d,"other":%d,"extra":%d}`+"\n",
+			e.Time, e.Kind.String(), e.Tid, e.Stx, e.Attempt, e.Other, e.Extra)
+		if err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(bw, `{"dropped":%d}`+"\n", r.dropped); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Summary describes a trace at a glance.
+func (r *Recorder) Summary() string {
+	c := r.Counts()
+	return fmt.Sprintf("events=%d begin=%d suspend=%d stall=%d abort=%d commit=%d dropped=%d",
+		len(r.events), c[KBegin], c[KSuspend], c[KStall], c[KAbort], c[KCommit], r.dropped)
+}
+
+// ConflictChains extracts, per (stx, other-stx) pair, how many times a
+// suspension or stall chained the pair — the raw material of the paper's
+// conflict graph, recoverable from a trace alone.
+func (r *Recorder) ConflictChains(numStatic int) [][]int64 {
+	m := make([][]int64, numStatic)
+	for i := range m {
+		m[i] = make([]int64, numStatic)
+	}
+	for _, e := range r.events {
+		if (e.Kind == KSuspend || e.Kind == KStall || e.Kind == KAbort) && e.Other >= 0 {
+			otherStx := e.Other % numStatic
+			if e.Stx < numStatic {
+				m[e.Stx][otherStx]++
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Time: 1, Kind: KBegin, Tid: 3, Stx: 0, Attempt: 1, Other: -1})
+	r.Add(Event{Time: 5, Kind: KCommit, Tid: 3, Stx: 0, Attempt: 1, Other: -1, Extra: 4})
+	if len(r.Events()) != 2 || r.Dropped() != 0 {
+		t.Fatalf("events=%d dropped=%d", len(r.Events()), r.Dropped())
+	}
+	c := r.Counts()
+	if c[KBegin] != 1 || c[KCommit] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestRecorderCapAndDrops(t *testing.T) {
+	r := Recorder{Cap: 3}
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Time: int64(i), Kind: KBegin})
+	}
+	if len(r.Events()) != 3 || r.Dropped() != 7 {
+		t.Fatalf("cap not enforced: events=%d dropped=%d", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := Recorder{Cap: 2}
+	r.Add(Event{Time: 10, Kind: KStall, Tid: 1, Stx: 2, Attempt: 1, Other: 7})
+	r.Add(Event{Time: 11, Kind: KAbort, Tid: 1, Stx: 2, Attempt: 1, Other: 7})
+	r.Add(Event{Time: 12, Kind: KCommit}) // dropped
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // two events + dropped marker
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `"kind":"stall"`) || !strings.Contains(lines[0], `"other":7`) {
+		t.Fatalf("bad first line: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"dropped":1`) {
+		t.Fatalf("missing drop marker: %s", lines[2])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KBegin: "begin", KSuspend: "suspend", KStall: "stall",
+		KAbort: "abort", KCommit: "commit", Kind(200): "?",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestConflictChains(t *testing.T) {
+	var r Recorder
+	// stx 0 stalls behind dTx of (thread 3, stx 1) with 2 statics.
+	r.Add(Event{Kind: KStall, Stx: 0, Other: 3*2 + 1})
+	r.Add(Event{Kind: KAbort, Stx: 0, Other: 3*2 + 1})
+	r.Add(Event{Kind: KCommit, Stx: 0, Other: -1})
+	m := r.ConflictChains(2)
+	if m[0][1] != 2 {
+		t.Fatalf("chains[0][1] = %d, want 2", m[0][1])
+	}
+	if m[0][0] != 0 || m[1][0] != 0 {
+		t.Fatalf("spurious chains: %v", m)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KBegin})
+	r.Add(Event{Kind: KCommit})
+	s := r.Summary()
+	if !strings.Contains(s, "begin=1") || !strings.Contains(s, "commit=1") {
+		t.Fatalf("summary = %q", s)
+	}
+}

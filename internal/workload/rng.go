@@ -1,0 +1,89 @@
+package workload
+
+// RNG is a small, fast, deterministic generator (xoshiro-style splitmix64
+// stream) used by workload generators. Each thread derives its own stream
+// from (workload seed, thread ID) so program construction order cannot
+// perturb the draw sequence.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Seed 0 is remapped to a fixed odd constant so
+// the stream never degenerates.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Derive produces an independent stream for a sub-entity (e.g. a thread).
+func (r *RNG) Derive(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id+1)*0xd1342543de82ef95)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be positive.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Zipf returns an integer in [0, n) with a Zipf-like bias toward small
+// values; s controls the skew (s=0 is uniform, larger s is more skewed).
+// Workloads use it to model hot-spot structures such as mesh regions.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF of a smooth power-law approximation.
+	u := r.Float64()
+	x := int(float64(n) * pow(u, 1+s))
+	if x >= n {
+		x = n - 1
+	}
+	return x
+}
+
+// pow is a cheap x^y for x in [0,1], y >= 1, good enough for workload
+// skewing (avoids pulling math into every call site).
+func pow(x, y float64) float64 {
+	// Exponentiation by squaring on the integer part, linear blend on the
+	// fraction.
+	ip := int(y)
+	fp := y - float64(ip)
+	out := 1.0
+	base := x
+	for ip > 0 {
+		if ip&1 == 1 {
+			out *= base
+		}
+		base *= base
+		ip >>= 1
+	}
+	// x^fp ≈ 1 - fp*(1-x) for x near 1; acceptable skew error otherwise.
+	return out * (1 - fp*(1-x))
+}

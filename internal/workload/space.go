@@ -1,0 +1,52 @@
+package workload
+
+import "fmt"
+
+// Space is a bump allocator over the simulated physical address space.
+// Workload data structures carve named regions out of it and address their
+// contents by line index, mirroring how the real benchmarks lay out their
+// heaps. Addresses are byte addresses aligned to LineBytes.
+type Space struct {
+	next uint64
+}
+
+// NewSpace starts allocation at a non-zero base (so address 0 never
+// aliases a valid line).
+func NewSpace() *Space {
+	return &Space{next: 1 << 20}
+}
+
+// Alloc reserves a region of n cache lines and returns it.
+func (s *Space) Alloc(name string, lines int) Region {
+	if lines <= 0 {
+		panic(fmt.Sprintf("workload: region %q with %d lines", name, lines))
+	}
+	r := Region{Name: name, Base: s.next, NumLines: lines}
+	s.next += uint64(lines) * LineBytes
+	return r
+}
+
+// Region is a contiguous run of cache lines.
+type Region struct {
+	Name     string
+	Base     uint64
+	NumLines int
+}
+
+// Line returns the address of the i-th line; i is taken modulo the region
+// size so generators can index freely.
+func (r Region) Line(i int) uint64 {
+	if r.NumLines == 0 {
+		panic("workload: Line on empty region")
+	}
+	i %= r.NumLines
+	if i < 0 {
+		i += r.NumLines
+	}
+	return r.Base + uint64(i)*LineBytes
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+uint64(r.NumLines)*LineBytes
+}

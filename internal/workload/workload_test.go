@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestRNGDeriveIndependentStreams(t *testing.T) {
+	base := NewRNG(3)
+	a := base.Derive(0)
+	b := base.Derive(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams coincide on %d/64 draws", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64RoughlyUniform(t *testing.T) {
+	r := NewRNG(13)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestZipfSkewsSmall(t *testing.T) {
+	r := NewRNG(17)
+	const n = 100
+	lowHalf := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		if r.Zipf(n, 2.0) < n/2 {
+			lowHalf++
+		}
+	}
+	if float64(lowHalf)/draws < 0.60 {
+		t.Fatalf("Zipf(s=2) put only %d/%d in the low half; want skew", lowHalf, draws)
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Zipf(n, 2.0)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+	if r.Zipf(1, 2.0) != 0 || r.Zipf(0, 1.0) != 0 {
+		t.Fatal("degenerate Zipf bounds mishandled")
+	}
+}
+
+func TestSpaceRegionsDisjoint(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100)
+	b := s.Alloc("b", 50)
+	for i := 0; i < 100; i++ {
+		if b.Contains(a.Line(i)) {
+			t.Fatalf("region overlap at line %d", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if a.Contains(b.Line(i)) {
+			t.Fatalf("region overlap at line %d", i)
+		}
+	}
+}
+
+func TestRegionLineAlignmentAndWrap(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 10)
+	for i := -20; i < 40; i++ {
+		addr := r.Line(i)
+		if addr%LineBytes != 0 {
+			t.Fatalf("unaligned line address %#x", addr)
+		}
+		if !r.Contains(addr) {
+			t.Fatalf("Line(%d) = %#x escapes region", i, addr)
+		}
+	}
+	if r.Line(0) != r.Line(10) {
+		t.Fatal("modulo indexing broken")
+	}
+}
+
+func TestTxDescLines(t *testing.T) {
+	d := &TxDesc{Accesses: []Access{
+		{Addr: 64}, {Addr: 128, Write: true}, {Addr: 64, Write: true},
+	}}
+	if d.Lines() != 2 {
+		t.Fatalf("Lines() = %d, want 2", d.Lines())
+	}
+}
