@@ -94,6 +94,26 @@ func BenchmarkAblationAliasing(b *testing.B) {
 	runExperiment(b, "abl-alias", nil)
 }
 
+// benchRunAll regenerates the whole registry through the parallel engine
+// at a given pool width; compare the serial and parallel variants to see
+// the wall-clock win on your host (identical output is asserted by
+// TestParallelMatchesSerial, so these differ only in scheduling).
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		reps := harness.RunAll(harness.NewRunner(cfg), harness.Experiments())
+		if len(reps) == 0 || reps[0] == nil {
+			b.Fatal("RunAll returned no reports")
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
 func BenchmarkAblationSuspendPolicy(b *testing.B) {
 	runExperiment(b, "abl-suspend", nil)
 }

@@ -5,14 +5,19 @@
 //
 //	bfgts-sim -list
 //	bfgts-sim -exp fig4a [-cores 16] [-tpc 4] [-seed 1] [-scale 1.0]
-//	bfgts-sim -exp all
+//	bfgts-sim -exp all [-parallel 8] [-seeds 5] [-quiet]
 //	bfgts-sim -bench intruder -manager BFGTS-HW -bloom 2048   (single run)
+//
+// Independent simulation cells fan out over a worker pool (-parallel,
+// default one slot per CPU); output is byte-identical to -parallel 1.
+// Progress lines stream to stderr unless -quiet is set.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -34,6 +39,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "transaction-count scale factor")
 	traceFile := flag.String("trace", "", "single run: write a JSONL event trace to this file")
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
+	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
 	flag.Parse()
 
 	if *list {
@@ -43,7 +50,17 @@ func main() {
 		return
 	}
 
-	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale}
+	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel}
+	if !*quiet {
+		var mu sync.Mutex
+		done := 0
+		cfg.Progress = func(line string) {
+			mu.Lock()
+			done++
+			fmt.Fprintf(os.Stderr, "[%4d] %s\n", done, line)
+			mu.Unlock()
+		}
+	}
 	r := harness.NewRunner(cfg)
 
 	if *bench != "" {
@@ -56,8 +73,16 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp == "all" {
-		for _, e := range harness.Experiments() {
-			fmt.Println(e.Run(r).Render())
+		if *seeds > 1 {
+			// Every experiment goes through the multi-seed aggregator —
+			// -seeds used to be silently ignored on the 'all' path.
+			for _, e := range harness.Experiments() {
+				fmt.Println(harness.MultiSeed(e, cfg, *seeds).Render())
+			}
+			return
+		}
+		for _, rep := range harness.RunAll(r, harness.Experiments()) {
+			fmt.Println(rep.Render())
 		}
 		return
 	}
@@ -70,7 +95,7 @@ func main() {
 		fmt.Println(harness.MultiSeed(e, cfg, *seeds).Render())
 		return
 	}
-	fmt.Println(e.Run(r).Render())
+	fmt.Println(harness.RunAll(r, []harness.Experiment{e})[0].Render())
 }
 
 func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile string) {
@@ -110,7 +135,11 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile s
 	b := res.Breakdown
 	total := float64(b.Total())
 	for _, c := range []sim.Category{sim.CatNonTx, sim.CatKernel, sim.CatTx, sim.CatAbort, sim.CatScheduling, sim.CatIdle} {
-		fmt.Printf("  %-11s %5.1f%%\n", c, 100*float64(b[c])/total)
+		pct := 0.0
+		if total > 0 { // an empty breakdown used to print NaN% everywhere
+			pct = 100 * float64(b[c]) / total
+		}
+		fmt.Printf("  %-11s %5.1f%%\n", c, pct)
 	}
 	fmt.Printf("attempts per committed execution: mean %.2f max %.0f\n",
 		res.AttemptsPerCommit.Mean(), res.AttemptsPerCommit.Max())

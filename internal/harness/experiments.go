@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -17,25 +18,161 @@ type Experiment struct {
 	ID          string
 	Description string
 	Run         func(r *Runner) *Report
+	// Warm, if non-nil, schedules every independent simulation the
+	// experiment will need concurrently over the runner's pool and waits
+	// for them. Run then replays the cells from the memo cache in
+	// presentation order, so parallel output is byte-identical to serial.
+	// Experiments with cross-cell data dependencies (abl-warmstart) leave
+	// it nil and run serially.
+	Warm func(r *Runner)
 }
 
 // Experiments returns the registry, in the paper's presentation order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Conflict graph and measured similarity per static transaction (Table 1)", Table1},
-		{"table4", "Contention rates per contention manager (Table 4)", Table4},
-		{"fig4a", "Speedup over one core, 7 managers x 7 benchmarks (Figure 4a)", Fig4a},
-		{"fig4b", "Percent improvement over PTS (Figure 4b)", Fig4b},
-		{"fig5", "Normalized execution-time breakdown (Figure 5)", Fig5},
-		{"fig6a", "BFGTS-HW Bloom-filter size sensitivity (Figure 6a)", Fig6a},
-		{"fig6b", "BFGTS-HW/Backoff Bloom-filter size sensitivity (Figure 6b)", Fig6b},
-		{"sec532", "Small-transaction similarity-update interval sweep (Section 5.3.2)", Sec532},
-		{"abl-reactive", "Reactive managers (Polite/Karma/Timestamp) vs proactive scheduling", AblReactive},
-		{"abl-warmstart", "Ablation: warm-started confidence tables vs cold start", AblWarmStart},
-		{"abl-scaling", "Core-count scaling of Backoff vs PTS vs BFGTS-HW on a dense benchmark", AblScaling},
-		{"abl-alias", "Ablation: confidence-table aliasing (paper's future-work scheme)", AblAliasing},
-		{"abl-suspend", "Ablation: spin-vs-yield suspend policy (Example 2's size test)", AblSuspend},
+		{"table1", "Conflict graph and measured similarity per static transaction (Table 1)", Table1, warmTable1},
+		{"table4", "Contention rates per contention manager (Table 4)", Table4, warmFig4},
+		{"fig4a", "Speedup over one core, 7 managers x 7 benchmarks (Figure 4a)", Fig4a, warmFig4},
+		{"fig4b", "Percent improvement over PTS (Figure 4b)", Fig4b, warmFig4},
+		{"fig5", "Normalized execution-time breakdown (Figure 5)", Fig5, warmFig4},
+		{"fig6a", "BFGTS-HW Bloom-filter size sensitivity (Figure 6a)", Fig6a, warmSweep(sched.BFGTSHW)},
+		{"fig6b", "BFGTS-HW/Backoff Bloom-filter size sensitivity (Figure 6b)", Fig6b, warmSweep(sched.BFGTSHWBackoff)},
+		{"sec532", "Small-transaction similarity-update interval sweep (Section 5.3.2)", Sec532, warmSec532},
+		{"abl-reactive", "Reactive managers (Polite/Karma/Timestamp) vs proactive scheduling", AblReactive, warmReactive},
+		{"abl-warmstart", "Ablation: warm-started confidence tables vs cold start", AblWarmStart, nil},
+		{"abl-scaling", "Core-count scaling of Backoff vs PTS vs BFGTS-HW on a dense benchmark", AblScaling, warmScaling},
+		{"abl-alias", "Ablation: confidence-table aliasing (paper's future-work scheme)", AblAliasing, warmAliasing},
+		{"abl-suspend", "Ablation: spin-vs-yield suspend policy (Example 2's size test)", AblSuspend, warmSuspend},
 	}
+}
+
+// RunAll executes experiments concurrently against one shared runner —
+// the singleflight cache dedupes cells shared across experiments (Fig4b
+// re-derives Fig4a; Table 4 and Figure 5 reuse the Figure 4 matrix) —
+// and returns reports in input order, byte-identical to a serial loop.
+func RunAll(r *Runner, exps []Experiment) []*Report {
+	reports := make([]*Report, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if e.Warm != nil {
+				e.Warm(r)
+			}
+			reports[i] = e.Run(r)
+		}()
+	}
+	wg.Wait()
+	return reports
+}
+
+// warmTable1 schedules Table 1's profiled baseline runs.
+func warmTable1(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Run(f, BaselineSpecs()[0], true) })
+	}
+	fanOut(fns)
+}
+
+// bfgtsSweepModes are the BFGTS variants Figure 4 resolves via BestBloom.
+var bfgtsSweepModes = []sched.BFGTSMode{sched.BFGTSSW, sched.BFGTSHW, sched.BFGTSHWBackoff}
+
+// warmFig4 schedules the full Figure 4 cell matrix: per benchmark the
+// one-core baseline, the three reactive baselines, every (mode, Bloom
+// size) sweep point behind BestBloom, and the no-overhead bound.
+func warmFig4(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Baseline(f) })
+		for _, m := range BaselineSpecs() {
+			fns = append(fns, func() { r.Run(f, m, false) })
+		}
+		for _, mode := range bfgtsSweepModes {
+			for _, bits := range BloomSizes {
+				fns = append(fns, func() { r.Run(f, bfgtsSpec(mode, bits, 0), false) })
+			}
+		}
+		fns = append(fns, func() { r.Run(f, bfgtsSpec(sched.BFGTSNoOverhead, 0, 0), false) })
+	}
+	fanOut(fns)
+}
+
+// warmSweep schedules one BFGTS mode's Bloom-size sweep plus baselines.
+func warmSweep(mode sched.BFGTSMode) func(r *Runner) {
+	return func(r *Runner) {
+		var fns []func()
+		for _, f := range stamp.All() {
+			fns = append(fns, func() { r.Baseline(f) })
+			for _, bits := range BloomSizes {
+				fns = append(fns, func() { r.Run(f, bfgtsSpec(mode, bits, 0), false) })
+			}
+		}
+		fanOut(fns)
+	}
+}
+
+// warmSec532 schedules the similarity-interval sweep cells.
+func warmSec532(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Baseline(f) })
+		fns = append(fns, func() { r.Run(f, BaselineSpecs()[1], false) })
+		for _, interval := range []int{1, 10, 20} {
+			for _, bits := range BloomSizes {
+				fns = append(fns, func() { r.Run(f, bfgtsSpecInterval(bits, interval), false) })
+			}
+		}
+	}
+	fanOut(fns)
+}
+
+// warmReactive schedules the reactive-manager comparison cells.
+func warmReactive(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Baseline(f) })
+		for _, m := range ReactiveSpecs() {
+			fns = append(fns, func() { r.Run(f, m, false) })
+		}
+		fns = append(fns, func() { r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false) })
+	}
+	fanOut(fns)
+}
+
+// warmScaling schedules the core-count sweep cells.
+func warmScaling(r *Runner) {
+	f, _ := stamp.ByName("delaunay")
+	fns := []func(){func() { r.Baseline(f) }}
+	for _, m := range scalingSpecs() {
+		for _, cores := range scalingCores {
+			fns = append(fns, func() { r.runAt(f, m, cores, r.cfg.ThreadsPerCore, false) })
+		}
+	}
+	fanOut(fns)
+}
+
+// warmAliasing schedules the aliasing ablation cells.
+func warmAliasing(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Baseline(f) })
+		fns = append(fns, func() { r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false) })
+		fns = append(fns, func() { r.Run(f, aliasedSpec(), false) })
+	}
+	fanOut(fns)
+}
+
+// warmSuspend schedules the suspend-policy ablation cells.
+func warmSuspend(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		fns = append(fns, func() { r.Baseline(f) })
+		fns = append(fns, func() { r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false) })
+		fns = append(fns, func() { r.Run(f, alwaysYieldSpec(), false) })
+	}
+	fanOut(fns)
 }
 
 // ExperimentByID finds an experiment.
@@ -307,6 +444,32 @@ func bfgtsSpecInterval(bits, interval int) ManagerSpec {
 	return s
 }
 
+// aliasedSpec is BFGTS-HW with static IDs folded into 2 confidence-table
+// buckets — shared by AblAliasing and its warm pass so both hit one cell.
+func aliasedSpec() ManagerSpec {
+	return ManagerSpec{
+		Name: "BFGTS-HW/alias2",
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			cfg.AliasBuckets = 2
+			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
+		},
+	}
+}
+
+// alwaysYieldSpec is BFGTS-HW with the small-transaction spin path
+// disabled — shared by AblSuspend and its warm pass.
+func alwaysYieldSpec() ManagerSpec {
+	return ManagerSpec{
+		Name: "BFGTS-HW/yield",
+		New: func(env sched.Env) sched.Manager {
+			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
+			cfg.SmallTxLines = 0 // nothing counts as small: always yield
+			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
+		},
+	}
+}
+
 // AblAliasing compares BFGTS-HW with and without confidence-table
 // aliasing (folding static IDs into 2 buckets), quantifying what the
 // paper's future-work compression would cost.
@@ -317,17 +480,9 @@ func AblAliasing(r *Runner) *Report {
 		Columns: []string{"Benchmark", "Full", "Aliased", "Delta"},
 		Values:  map[string]float64{},
 	}
-	aliased := ManagerSpec{
-		Name: "BFGTS-HW/alias2",
-		New: func(env sched.Env) sched.Manager {
-			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
-			cfg.AliasBuckets = 2
-			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
-		},
-	}
 	for _, f := range stamp.All() {
 		full := r.Speedup(f, r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false))
-		al := r.Speedup(f, r.Run(f, aliased, false))
+		al := r.Speedup(f, r.Run(f, aliasedSpec(), false))
 		rep.Rows = append(rep.Rows, []string{
 			f.Name(), fmt.Sprintf("%.2f", full), fmt.Sprintf("%.2f", al),
 			fmt.Sprintf("%+.1f%%", 100*(al-full)/full),
@@ -348,17 +503,9 @@ func AblSuspend(r *Runner) *Report {
 		Columns: []string{"Benchmark", "SizeAware", "AlwaysYield", "Delta"},
 		Values:  map[string]float64{},
 	}
-	alwaysYield := ManagerSpec{
-		Name: "BFGTS-HW/yield",
-		New: func(env sched.Env) sched.Manager {
-			cfg := core.DefaultConfig(env.NumThreads, env.NumStatic)
-			cfg.SmallTxLines = 0 // nothing counts as small: always yield
-			return sched.NewBFGTS(env, sched.BFGTSHW, cfg)
-		},
-	}
 	for _, f := range stamp.All() {
 		aware := r.Speedup(f, r.Run(f, bfgtsSpec(sched.BFGTSHW, 2048, 0), false))
-		yield := r.Speedup(f, r.Run(f, alwaysYield, false))
+		yield := r.Speedup(f, r.Run(f, alwaysYieldSpec(), false))
 		rep.Rows = append(rep.Rows, []string{
 			f.Name(), fmt.Sprintf("%.2f", aware), fmt.Sprintf("%.2f", yield),
 			fmt.Sprintf("%+.1f%%", 100*(yield-aware)/aware),
@@ -485,6 +632,18 @@ func (s *stateCapture) OnCommit(tid, stx int, lines, writes func(func(uint64)), 
 	return cost
 }
 
+// scalingCores and scalingSpecs define the AblScaling sweep grid, shared
+// with its warm pass.
+var scalingCores = []int{1, 2, 4, 8, 16}
+
+func scalingSpecs() []ManagerSpec {
+	return []ManagerSpec{
+		BaselineSpecs()[0],
+		BaselineSpecs()[1],
+		bfgtsSpec(sched.BFGTSHW, 2048, 0),
+	}
+}
+
 // AblScaling sweeps the machine size (1..16 cores, 4 threads per core) on
 // the dense-contention benchmark to show where proactive scheduling's
 // advantage comes from: Backoff degrades with added cores (more concurrent
@@ -497,13 +656,9 @@ func AblScaling(r *Runner) *Report {
 		Values:  map[string]float64{},
 	}
 	f, _ := stamp.ByName("delaunay")
-	specs := []ManagerSpec{
-		BaselineSpecs()[0],
-		BaselineSpecs()[1],
-		bfgtsSpec(sched.BFGTSHW, 2048, 0),
-	}
+	specs := scalingSpecs()
 	base := r.Baseline(f)
-	for _, cores := range []int{1, 2, 4, 8, 16} {
+	for _, cores := range scalingCores {
 		row := []string{fmt.Sprintf("%d", cores)}
 		for _, m := range specs {
 			res := r.runAt(f, m, cores, r.cfg.ThreadsPerCore, false)

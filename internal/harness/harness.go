@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -27,6 +28,14 @@ type Config struct {
 	// Scale multiplies every benchmark's transaction count; use < 1 for
 	// quick runs (benchmarks, CI).
 	Scale float64
+	// Workers bounds how many simulations may execute concurrently when
+	// experiments fan out (RunAll, MultiSeed, warm passes). 0 means
+	// runtime.NumCPU(); 1 serializes all compute.
+	Workers int
+	// Progress, if non-nil, receives one line per simulation as it
+	// finishes (cache hits are silent). It may be called from multiple
+	// goroutines concurrently.
+	Progress func(line string)
 }
 
 // DefaultConfig is the paper's machine: 16 CPUs, 64 threads.
@@ -87,18 +96,38 @@ type runKey struct {
 	profile bool
 }
 
-// Runner executes and caches simulations for one experiment session.
-type Runner struct {
-	cfg   Config
-	cache map[runKey]*sim.Result
+// cacheEntry is one memoized simulation. The first caller of a runKey
+// (the leader) allocates the entry, runs the simulation, and closes done;
+// concurrent callers of the same key block on done and share the result —
+// a singleflight memo, so racing experiments never duplicate a cell.
+type cacheEntry struct {
+	done chan struct{}
+	res  *sim.Result
 }
 
-// NewRunner returns a fresh experiment session.
+// Runner executes and caches simulations for one experiment session.
+// All methods are safe for concurrent use.
+type Runner struct {
+	cfg  Config
+	pool *Pool
+
+	mu    sync.Mutex
+	cache map[runKey]*cacheEntry
+}
+
+// NewRunner returns a fresh experiment session with its own worker pool
+// sized from cfg.Workers.
 func NewRunner(cfg Config) *Runner {
+	return newRunnerPool(cfg, NewPool(cfg.Workers))
+}
+
+// newRunnerPool builds a session that shares an existing pool — used by
+// MultiSeed so per-seed sessions contend for one global compute budget.
+func newRunnerPool(cfg Config, pool *Pool) *Runner {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	return &Runner{cfg: cfg, cache: make(map[runKey]*sim.Result)}
+	return &Runner{cfg: cfg, pool: pool, cache: make(map[runKey]*cacheEntry)}
 }
 
 // Run simulates one (benchmark, manager) cell, memoizing by configuration.
@@ -111,16 +140,19 @@ func (r *Runner) RunTraced(f workload.Factory, m ManagerSpec, rec *trace.Recorde
 	if rec == nil {
 		return r.Run(f, m, false)
 	}
-	w := f.New(scaledTxs(f, r.cfg.Scale))
-	res := sim.NewRunner(sim.RunConfig{
-		Cores:          r.cfg.Cores,
-		ThreadsPerCore: r.cfg.ThreadsPerCore,
-		Seed:           r.cfg.Seed,
-		Workload:       w,
-		NewManager:     m.New,
-		MaxCycles:      100_000_000_000,
-		Trace:          rec,
-	}).Run()
+	var res *sim.Result
+	r.pool.do(func() {
+		w := f.New(scaledTxs(f, r.cfg.Scale))
+		res = sim.NewRunner(sim.RunConfig{
+			Cores:          r.cfg.Cores,
+			ThreadsPerCore: r.cfg.ThreadsPerCore,
+			Seed:           r.cfg.Seed,
+			Workload:       w,
+			NewManager:     m.New,
+			MaxCycles:      100_000_000_000,
+			Trace:          rec,
+		}).Run()
+	})
 	res.ManagerName = m.Name
 	return res
 }
@@ -133,22 +165,35 @@ func (r *Runner) Baseline(f workload.Factory) *sim.Result {
 
 func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profile bool) *sim.Result {
 	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile}
-	if res, ok := r.cache[key]; ok {
-		return res
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done // wait out an in-flight leader; closed == complete
+		return e.res
 	}
-	w := f.New(scaledTxs(f, r.cfg.Scale))
-	res := sim.NewRunner(sim.RunConfig{
-		Cores:             cores,
-		ThreadsPerCore:    tpc,
-		Seed:              r.cfg.Seed,
-		Workload:          w,
-		NewManager:        m.New,
-		ProfileSimilarity: profile,
-		MaxCycles:         100_000_000_000,
-	}).Run()
-	res.ManagerName = m.Name // keep the spec name (includes Bloom size)
-	r.cache[key] = res
-	return res
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	defer close(e.done) // wake waiters even if the simulation panics
+	r.pool.do(func() {
+		w := f.New(scaledTxs(f, r.cfg.Scale))
+		res := sim.NewRunner(sim.RunConfig{
+			Cores:             cores,
+			ThreadsPerCore:    tpc,
+			Seed:              r.cfg.Seed,
+			Workload:          w,
+			NewManager:        m.New,
+			ProfileSimilarity: profile,
+			MaxCycles:         100_000_000_000,
+		}).Run()
+		res.ManagerName = m.Name // keep the spec name (includes Bloom size)
+		e.res = res
+	})
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(fmt.Sprintf("%-10s %-22s cores=%-2d tpc=%d seed=%d  %8.2f Mcycles",
+			key.bench, key.manager, key.cores, key.tpc, key.seed, float64(e.res.Makespan)/1e6))
+	}
+	return e.res
 }
 
 func scaledTxs(f workload.Factory, scale float64) int {

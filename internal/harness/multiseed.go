@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -9,15 +10,34 @@ import (
 // MultiSeed runs an experiment across n seeds (base, base+1, …) and
 // aggregates every reported value into mean ± standard deviation — the
 // variance disclosure behind EXPERIMENTS.md's cross-seed claims.
+//
+// Seeds execute concurrently over one pool sized from cfg.Workers (each
+// seed gets its own cache session, since the seed is part of every run
+// key), but aggregation always folds values in ascending seed order, so
+// the report is byte-identical to a serial run.
 func MultiSeed(exp Experiment, cfg Config, n int) *Report {
 	if n < 1 {
 		n = 1
 	}
-	agg := map[string]*stats.Summary{}
+	pool := NewPool(cfg.Workers)
+	reps := make([]*Report, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
-		rep := exp.Run(NewRunner(c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := newRunnerPool(c, pool)
+			if exp.Warm != nil {
+				exp.Warm(r)
+			}
+			reps[i] = exp.Run(r)
+		}()
+	}
+	wg.Wait()
+	agg := map[string]*stats.Summary{}
+	for _, rep := range reps {
 		for k, v := range rep.Values {
 			s, ok := agg[k]
 			if !ok {

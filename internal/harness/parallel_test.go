@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+func TestPoolSizing(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("NewPool(0).Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Fatalf("NewPool(3).Workers() = %d, want 3", got)
+	}
+}
+
+// TestConcurrentRunnerCache hammers the memo cache from many goroutines
+// (run under -race via scripts/check.sh): every caller of the same cell
+// must get the identical *sim.Result pointer — the singleflight entry —
+// and the cell must simulate exactly once.
+func TestConcurrentRunnerCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.Workers = 8
+	r := NewRunner(cfg)
+	f, _ := stamp.ByName("ssca2")
+
+	const goroutines = 16
+	runs := make([]*sim.Result, goroutines)
+	bases := make([]*sim.Result, goroutines)
+	blooms := make([]*sim.Result, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs[i] = r.Run(f, BaselineSpecs()[0], false)
+			bases[i] = r.Baseline(f)
+			_, blooms[i] = r.BestBloom(f, sched.BFGTSHW)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if runs[i] != runs[0] {
+			t.Fatal("concurrent Run calls returned distinct results for one cell")
+		}
+		if bases[i] != bases[0] {
+			t.Fatal("concurrent Baseline calls returned distinct results")
+		}
+		if blooms[i] != blooms[0] {
+			t.Fatal("concurrent BestBloom calls returned distinct best results")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// ssca2 baseline + 16-core Backoff + 5 bloom sizes — nothing duplicated.
+	if want := 2 + len(BloomSizes); len(r.cache) != want {
+		t.Fatalf("cache holds %d entries, want %d", len(r.cache), want)
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee: running the
+// full experiment registry through RunAll on an 8-slot pool must emit
+// reports byte-identical to a serial (Workers=1, plain loop) run.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry determinism sweep")
+	}
+	scfg := DefaultConfig()
+	scfg.Scale = 0.08
+	scfg.Workers = 1
+	serial := make([]*Report, 0, len(Experiments()))
+	sr := NewRunner(scfg)
+	for _, e := range Experiments() {
+		serial = append(serial, e.Run(sr))
+	}
+
+	pcfg := scfg
+	pcfg.Workers = 8
+	parallel := RunAll(NewRunner(pcfg), Experiments())
+
+	for i, e := range Experiments() {
+		if !reflect.DeepEqual(serial[i].Values, parallel[i].Values) {
+			t.Errorf("%s: parallel Values differ from serial", e.ID)
+		}
+		if serial[i].Render() != parallel[i].Render() {
+			t.Errorf("%s: parallel render not byte-identical to serial", e.ID)
+		}
+	}
+}
+
+// TestMultiSeedParallelMatchesSerial pins the same guarantee for the
+// seed fan-out: concurrent seeds aggregate in seed order.
+func TestMultiSeedParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.08
+	exp, _ := ExperimentByID("table1")
+
+	cfg.Workers = 1
+	serial := MultiSeed(exp, cfg, 3)
+	cfg.Workers = 8
+	parallel := MultiSeed(exp, cfg, 3)
+
+	if !reflect.DeepEqual(serial.Values, parallel.Values) {
+		t.Error("multi-seed parallel Values differ from serial")
+	}
+	if serial.Render() != parallel.Render() {
+		t.Error("multi-seed parallel render not byte-identical to serial")
+	}
+}
+
+// TestRunAllPreservesOrder checks reports come back in registry order,
+// not completion order.
+func TestRunAllPreservesOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	exps := []Experiment{
+		mustExperiment(t, "abl-scaling"),
+		mustExperiment(t, "fig6a"),
+		mustExperiment(t, "table1"),
+	}
+	reps := RunAll(NewRunner(cfg), exps)
+	for i, e := range exps {
+		if reps[i] == nil || reps[i].ID != e.ID {
+			t.Fatalf("report %d is %v, want id %s", i, reps[i], e.ID)
+		}
+	}
+}
+
+func mustExperiment(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := ExperimentByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	return e
+}
+
+// TestProgressReportsEachCellOnce: the progress hook fires once per
+// simulated cell, never for cache hits, even under concurrent callers.
+func TestProgressReportsEachCellOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.Workers = 4
+	var mu sync.Mutex
+	lines := 0
+	cfg.Progress = func(string) {
+		mu.Lock()
+		lines++
+		mu.Unlock()
+	}
+	r := NewRunner(cfg)
+	f, _ := stamp.ByName("ssca2")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run(f, BaselineSpecs()[0], false)
+		}()
+	}
+	wg.Wait()
+	if lines != 1 {
+		t.Fatalf("progress fired %d times for one cell, want 1", lines)
+	}
+}
+
+// TestReportRenderWideRow: rows wider than the header used to panic on
+// widths[i]; now the overflow cells render unpadded.
+func TestReportRenderWideRow(t *testing.T) {
+	rep := &Report{
+		ID:      "wide",
+		Title:   "overflowing row",
+		Columns: []string{"A", "B"},
+		Rows:    [][]string{{"a", "b", "extra", "more"}},
+	}
+	out := rep.Render()
+	for _, want := range []string{"extra", "more"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing overflow cell %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many simulations execute concurrently. Fan-out layers
+// (RunAll, MultiSeed, experiment warm passes) spawn goroutines freely;
+// only the leaf simulation compute acquires a slot, so nesting fan-outs
+// can never deadlock and the host stays at the configured width.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with n slots; n <= 0 means runtime.NumCPU() and
+// n == 1 serializes all compute.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Workers reports the slot count.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// do runs fn in the calling goroutine once a slot frees up.
+func (p *Pool) do(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// fanOut runs every thunk in its own goroutine and waits for all of them.
+// Thunks are expected to bottom out in pool-bounded simulation calls.
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

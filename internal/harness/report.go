@@ -37,7 +37,13 @@ func (r *Report) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				// Row wider than the header: emit the extra cells unpadded
+				// instead of panicking on widths[i].
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}

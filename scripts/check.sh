@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repo gate: vet, build, and the full test suite under the race detector.
+# The harness fans simulations out across goroutines, so -race here is
+# what keeps future PRs honest about cache/pool concurrency.
+#
+# Usage: ./scripts/check.sh [-short]   (-short skips the slowest sweeps)
+set -eu
+cd "$(dirname "$0")/.."
+set -x
+go vet ./...
+go build ./...
+go test -race "$@" ./...
