@@ -6,11 +6,17 @@
 //	bfgts-sim -list
 //	bfgts-sim -exp fig4a [-cores 16] [-tpc 4] [-seed 1] [-scale 1.0]
 //	bfgts-sim -exp all [-parallel 8] [-seeds 5] [-quiet]
+//	bfgts-sim -exp speedup -json-out results.json        (machine-readable)
 //	bfgts-sim -bench intruder -manager BFGTS-HW -bloom 2048   (single run)
+//	bfgts-sim -bench intruder -metrics-out metrics.json  (scheduler internals)
 //
 // Independent simulation cells fan out over a worker pool (-parallel,
 // default one slot per CPU); output is byte-identical to -parallel 1.
 // Progress lines stream to stderr unless -quiet is set.
+//
+// -json-out writes the full experiment matrix (every report, including
+// per-cell speedup values) as schema-versioned JSON; -metrics-out attaches
+// a metrics registry to a single run and writes its final snapshot.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -38,6 +45,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	scale := flag.Float64("scale", 1.0, "transaction-count scale factor")
 	traceFile := flag.String("trace", "", "single run: write a JSONL event trace to this file")
+	metricsOut := flag.String("metrics-out", "", "single run: write the scheduler-internals metrics snapshot (JSON) to this file")
+	jsonOut := flag.String("json-out", "", "experiment run: write all reports as schema-versioned JSON to this file")
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
@@ -64,7 +73,7 @@ func main() {
 	r := harness.NewRunner(cfg)
 
 	if *bench != "" {
-		singleRun(cfg, *bench, *manager, *bloom, *traceFile)
+		singleRun(cfg, *bench, *manager, *bloom, *traceFile, *metricsOut)
 		return
 	}
 
@@ -72,33 +81,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -exp, -bench or -list; see -h")
 		os.Exit(2)
 	}
+	var reports []*harness.Report
 	if *exp == "all" {
 		if *seeds > 1 {
 			// Every experiment goes through the multi-seed aggregator —
 			// -seeds used to be silently ignored on the 'all' path.
 			for _, e := range harness.Experiments() {
-				fmt.Println(harness.MultiSeed(e, cfg, *seeds).Render())
+				reports = append(reports, harness.MultiSeed(e, cfg, *seeds))
 			}
-			return
+		} else {
+			reports = harness.RunAll(r, harness.Experiments())
 		}
-		for _, rep := range harness.RunAll(r, harness.Experiments()) {
-			fmt.Println(rep.Render())
+	} else {
+		e, ok := harness.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
 		}
-		return
+		if *seeds > 1 {
+			reports = []*harness.Report{harness.MultiSeed(e, cfg, *seeds)}
+		} else {
+			reports = harness.RunAll(r, []harness.Experiment{e})
+		}
 	}
-	e, ok := harness.ExperimentByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
-		os.Exit(1)
+	for _, rep := range reports {
+		fmt.Println(rep.Render())
 	}
-	if *seeds > 1 {
-		fmt.Println(harness.MultiSeed(e, cfg, *seeds).Render())
-		return
+	if *jsonOut != "" {
+		writeExport(cfg, reports, *jsonOut)
 	}
-	fmt.Println(harness.RunAll(r, []harness.Experiment{e})[0].Render())
 }
 
-func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile string) {
+// writeExport saves the session's reports as schema-versioned JSON.
+func writeExport(cfg harness.Config, reports []*harness.Report, path string) {
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	if err := harness.NewExport(cfg, reports).EncodeJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("json: %d report(s) -> %s\n", len(reports), path)
+}
+
+func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, metricsOut string) {
 	r := harness.NewRunner(cfg)
 	f, ok := stamp.ByName(bench)
 	if !ok {
@@ -114,7 +143,11 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile s
 	if traceFile != "" {
 		rec = &trace.Recorder{Cap: 4 << 20}
 	}
-	res := r.RunTraced(f, spec, rec)
+	var reg *metrics.Registry
+	if metricsOut != "" {
+		reg = metrics.New()
+	}
+	res := r.RunInstrumented(f, spec, rec, reg)
 	fmt.Printf("%s on %s: speedup %.2fx over one core, contention %.1f%%\n",
 		res.ManagerName, res.WorkloadName, r.Speedup(f, res), res.ContentionPct())
 	if rec != nil {
@@ -129,6 +162,19 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile s
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %s -> %s\n", rec.Summary(), traceFile)
+	}
+	if res.Metrics != nil {
+		out, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := res.Metrics.EncodeJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %d instrument(s) -> %s\n", len(res.Metrics.Keys()), metricsOut)
 	}
 	fmt.Printf("commits %d  aborts %d  makespan %.2f Mcycles\n",
 		res.Commits, res.Aborts, float64(res.Makespan)/1e6)

@@ -60,6 +60,24 @@ func (f *Filter) SimilarityOps() (popcnts, logs int) {
 	return 3 * len(f.words), 3
 }
 
+// EstimateIntersectionError inserts the two exact sets into fresh Bloom
+// filters of the given geometry and returns the Eq. 3 estimator's signed
+// error against the true intersection cardinality (estimate − exact). The
+// simulator's profiler records this per commit pair, making the
+// estimated-vs-exact accuracy the paper's Figure 6 relies on a measurable
+// quantity rather than an assumption.
+func EstimateIntersectionError(a, b *ExactSet, mBits, k int) float64 {
+	fa := NewFilter(mBits, k)
+	for key := range a.keys {
+		fa.Add(key)
+	}
+	fb := NewFilter(mBits, k)
+	for key := range b.keys {
+		fb.Add(key)
+	}
+	return fa.EstimateIntersection(fb) - float64(a.IntersectionLen(b))
+}
+
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/bloom"
+
 // This file implements the BFGTS scheduling subroutines of Section 4.2.2,
 // mirroring the paper's pseudo-code:
 //
@@ -63,6 +65,7 @@ func (r *Runtime) SuspendTx(dtx, dtxSusp int) SuspendDecision {
 	decay := r.cfg.DecayVal * (1 - sim)
 	_, stx := r.cfg.SplitDTx(dtx)
 	_, stxSusp := r.cfg.SplitDTx(dtxSusp)
+	r.met.decWeight.Observe(1 - sim)
 	r.addConf(stx, stxSusp, -decay)
 	self.waitingOn = dtxSusp
 	return SuspendDecision{
@@ -87,6 +90,7 @@ func (r *Runtime) TxConflict(dtx, dtxConf int) (cycles int64) {
 	}
 	_, stx := r.cfg.SplitDTx(dtx)
 	_, stxConf := r.cfg.SplitDTx(dtxConf)
+	r.met.incWeight.Observe(sim)
 	r.addConf(stx, stxConf, inc)
 	if r.cfg.confIdx(stx) != r.cfg.confIdx(stxConf) {
 		// Self-conflicting classes share one table cell; incrementing it
@@ -141,10 +145,17 @@ func (r *Runtime) CommitTx(dtx int, lines, writes func(func(addr uint64)), size 
 		lines(sig.Add)
 		wsig := r.newSignature()
 		writes(wsig.Add)
+		if r.met.fill != nil {
+			if f, ok := sig.(*bloom.Filter); ok {
+				r.met.fill.Observe(f.FillRatio())
+			}
+		}
 		if st.hasHistory {
 			prev := r.sigs[slot]
 			newSim := sig.Similarity(prev, st.avgSize)
 			st.sim = 0.5 * (st.sim + newSim)
+			r.met.simUpdates.Inc()
+			r.met.similarity.Observe(st.sim)
 			pops, logs := sig.SimilarityOps()
 			// Three popcount passes + union construction + the ln calls.
 			cost += int64(pops)*r.cost.Popcnt + int64(logs)*r.cost.Fyl2x +
@@ -175,8 +186,12 @@ func (r *Runtime) CommitTx(dtx int, lines, writes func(func(addr uint64)), size 
 			if inc < r.cfg.IncVal*0.30 {
 				inc = r.cfg.IncVal * 0.30 // same cold-start floor as TxConflict
 			}
+			r.met.validHits.Inc()
+			r.met.incWeight.Observe(sim)
 			r.addConf(stx, wstx, inc)
 		} else {
+			r.met.validMiss.Inc()
+			r.met.decWeight.Observe(1 - sim)
 			r.addConf(stx, wstx, -r.cfg.DecayVal*(1-sim))
 		}
 		cost += r.cost.ConfUpdate + int64(sizeWords(r.sigs[slot]))*r.cost.WordOp

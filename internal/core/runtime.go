@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bloom"
+	"repro/internal/metrics"
 )
 
 // NoTx is the sentinel for "no dynamic transaction" in waiting-on fields
@@ -72,11 +73,27 @@ type txStats struct {
 	hasHistory bool // a previous signature exists in the Bloom table
 }
 
+// runtimeMetrics caches the instruments the scheduling routines record
+// into. All fields are nil (and every record call a no-op) until
+// SetMetrics is called with a live registry.
+type runtimeMetrics struct {
+	confInc    *metrics.Counter // confidence-table increments
+	confDec    *metrics.Counter // confidence-table decrements
+	incWeight  *metrics.Summary // similarity weights of increments (Example 3)
+	decWeight  *metrics.Summary // 1−similarity weights of decays (Example 2)
+	validHits  *metrics.Counter // commit validations confirming overlap
+	validMiss  *metrics.Counter // commit validations refuting overlap
+	simUpdates *metrics.Counter // similarity calculations actually run
+	similarity *metrics.Summary // post-update similarity EWMA values
+	fill       *metrics.Summary // Bloom signature fill ratio at build time
+}
+
 // Runtime is the BFGTS software runtime state: confidence tables,
 // statistics arrays and the Bloom-filter table (Figure 3).
 type Runtime struct {
 	cfg  Config
 	cost CostModel
+	met  runtimeMetrics
 
 	// conf is the confidence table, M×M between static transaction IDs
 	// (the paper's key compression over PTS's per-dTxID table).
@@ -120,6 +137,23 @@ func NewRuntime(cfg Config, cost CostModel) *Runtime {
 		r.stats[i].sim = 0.5
 	}
 	return r
+}
+
+// SetMetrics points the runtime's instrumentation at a registry. A nil
+// registry yields nil instruments, whose record methods short-circuit, so
+// calling this unconditionally keeps the disabled path allocation-free.
+func (r *Runtime) SetMetrics(reg *metrics.Registry) {
+	r.met = runtimeMetrics{
+		confInc:    reg.Counter("core.conf.inc"),
+		confDec:    reg.Counter("core.conf.dec"),
+		incWeight:  reg.Summary("core.conf.inc_weight"),
+		decWeight:  reg.Summary("core.conf.dec_weight"),
+		validHits:  reg.Counter("core.validation.hits"),
+		validMiss:  reg.Counter("core.validation.misses"),
+		simUpdates: reg.Counter("core.sim_updates"),
+		similarity: reg.Summary("core.similarity"),
+		fill:       reg.Summary("bloom.fill_ratio"),
+	}
 }
 
 // Config returns the runtime's configuration.
@@ -182,6 +216,25 @@ func (r *Runtime) addConf(a, b int, delta float64) {
 		v = 1
 	}
 	r.conf[i] = v
+	if delta >= 0 {
+		r.met.confInc.Inc()
+	} else {
+		r.met.confDec.Inc()
+	}
+}
+
+// MeanConf returns the mean confidence across the whole table — the
+// phase-dynamics signal the time-series sampler records (high mean =
+// serialized phase, low mean = optimistic phase).
+func (r *Runtime) MeanConf() float64 {
+	if len(r.conf) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.conf {
+		sum += v
+	}
+	return sum / float64(len(r.conf))
 }
 
 // Similarity returns the similarity EWMA of a dynamic transaction.

@@ -175,8 +175,16 @@ func warmSuspend(r *Runner) {
 	fanOut(fns)
 }
 
-// ExperimentByID finds an experiment.
+// experimentAliases maps friendly names onto registry IDs.
+var experimentAliases = map[string]string{
+	"speedup": "fig4a",
+}
+
+// ExperimentByID finds an experiment by ID or alias.
 func ExperimentByID(id string) (Experiment, bool) {
+	if canonical, ok := experimentAliases[id]; ok {
+		id = canonical
+	}
 	for _, e := range Experiments() {
 		if e.ID == id {
 			return e, true

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// ExportSchemaVersion identifies the machine-readable output format.
+// Bump it on any field rename or semantic change so downstream parsers
+// can detect incompatibility instead of misreading.
+const ExportSchemaVersion = 1
+
+// Export is the machine-readable form of an experiment session: the
+// configuration that produced it plus every report, values included. The
+// encoding is deterministic — encoding/json sorts the Values maps by key,
+// and non-finite floats are sanitized — so two runs at the same seed
+// produce byte-identical files.
+type Export struct {
+	SchemaVersion int            `json:"schema_version"`
+	Config        ExportConfig   `json:"config"`
+	Reports       []ExportReport `json:"reports"`
+}
+
+// ExportConfig pins the session parameters the results depend on.
+type ExportConfig struct {
+	Cores          int     `json:"cores"`
+	ThreadsPerCore int     `json:"threads_per_core"`
+	Seed           uint64  `json:"seed"`
+	Scale          float64 `json:"scale"`
+}
+
+// ExportReport mirrors Report with stable snake_case field names.
+type ExportReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Values  map[string]float64 `json:"values,omitempty"`
+}
+
+// NewExport assembles the export view of a session's reports.
+func NewExport(cfg Config, reports []*Report) *Export {
+	e := &Export{
+		SchemaVersion: ExportSchemaVersion,
+		Config: ExportConfig{
+			Cores:          cfg.Cores,
+			ThreadsPerCore: cfg.ThreadsPerCore,
+			Seed:           cfg.Seed,
+			Scale:          cfg.Scale,
+		},
+	}
+	for _, rep := range reports {
+		er := ExportReport{
+			ID:      rep.ID,
+			Title:   rep.Title,
+			Columns: rep.Columns,
+			Rows:    rep.Rows,
+			Notes:   rep.Notes,
+		}
+		if len(rep.Values) > 0 {
+			er.Values = make(map[string]float64, len(rep.Values))
+			for k, v := range rep.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				er.Values[k] = v
+			}
+		}
+		e.Reports = append(e.Reports, er)
+	}
+	return e
+}
+
+// EncodeJSON writes the export as indented JSON.
+func (e *Export) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// exportBytes runs the speedup experiment on a fresh runner and encodes it.
+func exportBytes(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	e, ok := ExperimentByID("speedup")
+	if !ok {
+		t.Fatal("speedup alias not registered")
+	}
+	reports := RunAll(NewRunner(cfg), []Experiment{e})
+	var buf bytes.Buffer
+	if err := NewExport(cfg, reports).EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestExportDeterministic pins the acceptance criterion: the speedup
+// experiment's JSON export is byte-identical across two independent runs
+// at the same seed.
+func TestExportDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	a := exportBytes(t, cfg)
+	b := exportBytes(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export not byte-identical across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestExportRoundTrip checks the export parses back into the schema with
+// everything intact.
+func TestExportRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	data := exportBytes(t, cfg)
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if e.SchemaVersion != ExportSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", e.SchemaVersion, ExportSchemaVersion)
+	}
+	if e.Config.Cores != cfg.Cores || e.Config.Seed != cfg.Seed {
+		t.Fatalf("config did not round-trip: %+v", e.Config)
+	}
+	if len(e.Reports) != 1 || e.Reports[0].ID != "fig4a" {
+		t.Fatalf("reports = %+v", e.Reports)
+	}
+	rep := e.Reports[0]
+	if len(rep.Rows) == 0 || len(rep.Values) == 0 {
+		t.Fatal("empty rows or values after round trip")
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(rep.Columns))
+		}
+	}
+	for k, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value %q = %v survived sanitization", k, v)
+		}
+	}
+}
+
+// TestExportSanitizesNonFinite checks NewExport scrubs NaN/Inf values.
+func TestExportSanitizesNonFinite(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Columns: []string{"a"},
+		Rows:    [][]string{{"1"}},
+		Values:  map[string]float64{"nan": math.NaN(), "inf": math.Inf(1), "ok": 2},
+	}
+	e := NewExport(DefaultConfig(), []*Report{rep})
+	if v := e.Reports[0].Values["nan"]; v != 0 {
+		t.Fatalf("nan -> %v, want 0", v)
+	}
+	if v := e.Reports[0].Values["inf"]; v != 0 {
+		t.Fatalf("inf -> %v, want 0", v)
+	}
+	if v := e.Reports[0].Values["ok"]; v != 2 {
+		t.Fatalf("ok -> %v, want 2", v)
+	}
+	var buf bytes.Buffer
+	if err := e.EncodeJSON(&buf); err != nil {
+		t.Fatalf("encode after sanitize: %v", err)
+	}
+}

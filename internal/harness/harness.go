@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -137,7 +138,15 @@ func (r *Runner) Run(f workload.Factory, m ManagerSpec, profile bool) *sim.Resul
 
 // RunTraced simulates one cell with an event trace attached (uncached).
 func (r *Runner) RunTraced(f workload.Factory, m ManagerSpec, rec *trace.Recorder) *sim.Result {
-	if rec == nil {
+	return r.RunInstrumented(f, m, rec, nil)
+}
+
+// RunInstrumented simulates one cell with an optional event trace and an
+// optional metrics registry attached. Instrumented runs bypass the memo
+// cache: their observers are caller-owned, so sharing a cached result
+// would silently drop the instrumentation.
+func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.Recorder, reg *metrics.Registry) *sim.Result {
+	if rec == nil && reg == nil {
 		return r.Run(f, m, false)
 	}
 	var res *sim.Result
@@ -149,8 +158,12 @@ func (r *Runner) RunTraced(f workload.Factory, m ManagerSpec, rec *trace.Recorde
 			Seed:           r.cfg.Seed,
 			Workload:       w,
 			NewManager:     m.New,
-			MaxCycles:      100_000_000_000,
-			Trace:          rec,
+			// Exact-set profiling feeds the bloom.est_error summary; it
+			// costs host time, not simulated cycles.
+			ProfileSimilarity: reg != nil,
+			MaxCycles:         100_000_000_000,
+			Trace:             rec,
+			Metrics:           reg,
 		}).Run()
 	})
 	res.ManagerName = m.Name

@@ -15,6 +15,8 @@
 // effects.
 package hwaccel
 
+import "repro/internal/metrics"
+
 // CacheConfig describes a set-associative cache.
 type CacheConfig struct {
 	SizeBytes  int
@@ -43,6 +45,17 @@ type Cache struct {
 	sets [][]uint64 // per set, tags in LRU order (front = most recent)
 
 	hits, misses int64
+
+	// hitCtr/missCtr mirror the counters into a metrics registry when
+	// attached; nil instruments are free no-ops.
+	hitCtr, missCtr *metrics.Counter
+}
+
+// SetMetrics attaches registry counters that mirror the hit/miss totals.
+// Banks share one counter pair across all per-CPU caches so the registry
+// reports system-wide figures.
+func (c *Cache) SetMetrics(hits, misses *metrics.Counter) {
+	c.hitCtr, c.missCtr = hits, misses
 }
 
 // NewCache builds a cache model; the configuration must describe at least
@@ -74,10 +87,12 @@ func (c *Cache) Access(addr uint64) int64 {
 			copy(set[1:i+1], set[:i])
 			set[0] = tag
 			c.hits++
+			c.hitCtr.Inc()
 			return c.cfg.HitCycles
 		}
 	}
 	c.misses++
+	c.missCtr.Inc()
 	if len(set) < c.cfg.Ways {
 		set = append(set, 0)
 	}

@@ -1,6 +1,9 @@
 package hwaccel
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
 
 // Predictor is one per-CPU hardware prediction unit (Figure 2).
 type Predictor struct {
@@ -23,6 +26,11 @@ type Predictor struct {
 	// entryCycles is the per-entry compare cost on top of the confidence
 	// fetch.
 	entryCycles int64
+
+	// Bank-shared instruments (nil until Bank.SetMetrics).
+	metPredictions *metrics.Counter
+	metConflicts   *metrics.Counter
+	metWalkCycles  *metrics.Counter
 }
 
 // Bank is the full complement of predictors, one per CPU, kept coherent by
@@ -56,6 +64,23 @@ func NewBank(rt *core.Runtime, nCPUs int, cacheCfg CacheConfig) *Bank {
 
 // Unit returns the predictor attached to a CPU.
 func (b *Bank) Unit(cpu int) *Predictor { return b.units[cpu] }
+
+// SetMetrics wires every unit in the bank to shared registry instruments:
+// confidence-cache hits/misses aggregated across the per-CPU caches, walker
+// cycle totals, and prediction counts. A nil registry disables all of them.
+func (b *Bank) SetMetrics(reg *metrics.Registry) {
+	hits := reg.Counter("hwaccel.conf_cache.hits")
+	misses := reg.Counter("hwaccel.conf_cache.misses")
+	preds := reg.Counter("hwaccel.predictions")
+	conf := reg.Counter("hwaccel.pred_conflicts")
+	walk := reg.Counter("hwaccel.walk_cycles")
+	for _, p := range b.units {
+		p.cache.SetMetrics(hits, misses)
+		p.metPredictions = preds
+		p.metConflicts = conf
+		p.metWalkCycles = walk
+	}
+}
 
 // BroadcastBegin announces on the interconnect that cpu started executing
 // dtx; every predictor snoops it into its CPU table.
@@ -114,6 +139,11 @@ func (p *Predictor) Predict(stx int) core.Prediction {
 	}
 	if p.rt.Costs().NoOverhead {
 		pr.Cycles = 1
+	}
+	p.metPredictions.Inc()
+	p.metWalkCycles.Add(pr.Cycles)
+	if pr.Conflict {
+		p.metConflicts.Inc()
 	}
 	return pr
 }

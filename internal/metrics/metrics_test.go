@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	c1 := r.Counter("a")
+	c1.Add(3)
+	if c2 := r.Counter("a"); c2 != c1 || c2.Value() != 3 {
+		t.Fatalf("Counter not memoized: %p vs %p, v=%d", c1, c2, c2.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	if r.Gauge("g").Value() != 1.5 {
+		t.Fatal("Gauge not memoized")
+	}
+	h := r.Histogram("h")
+	h.Observe(7)
+	if r.Histogram("h").Stats().N() != 1 {
+		t.Fatal("Histogram not memoized")
+	}
+	s := r.Summary("s")
+	s.Observe(2)
+	if r.Summary("s").Stats().N() != 1 {
+		t.Fatal("Summary not memoized")
+	}
+	ser := r.Series("ts", 8)
+	ser.Append(1, 0.5)
+	if r.Series("ts", 99).Len() != 1 {
+		t.Fatal("Series not memoized")
+	}
+}
+
+func TestNilRegistryShortCircuits(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	s := r.Summary("x")
+	ser := r.Series("x", 16)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(9)
+	s.Observe(1.5)
+	ser.Append(10, 2)
+	if c.Value() != 0 || g.Value() != 0 || h.Stats() != nil || s.Stats() != nil || ser.Len() != 0 {
+		t.Fatal("nil instruments recorded state")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+}
+
+// The disabled path must be allocation-free: this is what lets every layer
+// instrument its hot paths unconditionally.
+func TestNilRegistryZeroAllocations(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("x")
+	s := r.Summary("x")
+	g := r.Gauge("x")
+	ser := r.Series("x", 16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(5)
+		s.Observe(0.5)
+		ser.Append(1, 1)
+		_ = r.Counter("y") // even acquisition is free when disabled
+	})
+	if allocs != 0 {
+		t.Fatalf("nil registry path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNilRegistryCommitPath pins the disabled-metrics cost of the
+// instruments a commit fires (counter add, two summary observes, gauge
+// set): it must report 0 B/op, 0 allocs/op.
+func BenchmarkNilRegistryCommitPath(b *testing.B) {
+	var r *Registry
+	commits := r.Counter("sched.commits")
+	simW := r.Summary("core.conf.inc_weight")
+	fill := r.Summary("bloom.fill_ratio")
+	conf := r.Gauge("core.conf.mean")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		commits.Inc()
+		simW.Observe(0.5)
+		fill.Observe(0.12)
+		conf.Set(0.3)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() *Snapshot {
+		r := New()
+		r.Counter("z.count").Add(4)
+		r.Counter("a.count").Add(2)
+		r.Gauge("m.gauge").Set(0.25)
+		r.Histogram("lat").Observe(100)
+		r.Histogram("lat").Observe(900)
+		r.Summary("w").Observe(1)
+		r.Summary("w").Observe(3)
+		ser := r.Series("ts", 4)
+		ser.Append(10, 0.1)
+		ser.Append(20, 0.2)
+		return r.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().EncodeJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().EncodeJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshot JSON not byte-identical:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	keys := build().Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestSnapshotSanitizesNonFinite(t *testing.T) {
+	r := New()
+	r.Gauge("bad").Set(math.NaN())
+	r.Gauge("inf").Set(math.Inf(1))
+	snap := r.Snapshot()
+	if snap.Gauges["bad"] != 0 || snap.Gauges["inf"] != 0 {
+		t.Fatalf("non-finite gauges survived: %v", snap.Gauges)
+	}
+	var buf bytes.Buffer
+	if err := snap.EncodeJSON(&buf); err != nil {
+		t.Fatalf("snapshot with sanitized values failed to encode: %v", err)
+	}
+}
+
+func TestSeriesRingBuffer(t *testing.T) {
+	s := NewSeries(3)
+	for i := int64(1); i <= 5; i++ {
+		s.Append(i, float64(i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	pts := s.Points()
+	want := []Point{{3, 3}, {4, 4}, {5, 5}}
+	for i, p := range pts {
+		if p != want[i] {
+			t.Fatalf("Points = %v, want %v", pts, want)
+		}
+	}
+	// Appends after fill must not allocate.
+	allocs := testing.AllocsPerRun(100, func() { s.Append(99, 1) })
+	if allocs != 0 {
+		t.Fatalf("full-ring Append allocates %.1f/op", allocs)
+	}
+}
+
+func TestSeriesDefaultCap(t *testing.T) {
+	s := NewSeries(0)
+	if cap(s.buf) != DefaultSeriesCap {
+		t.Fatalf("cap = %d, want %d", cap(s.buf), DefaultSeriesCap)
+	}
+}

@@ -1,0 +1,63 @@
+package metrics
+
+// Point is one time-series sample: a value at a simulated cycle.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is a bounded ring buffer of Points. When full, the oldest point
+// is overwritten, so a long run keeps its most recent window — the part
+// phase-dynamics plots care about. Appends never allocate after the buffer
+// fills.
+type Series struct {
+	buf   []Point
+	start int // index of the oldest point
+	n     int // points currently held
+}
+
+// DefaultSeriesCap bounds series created with a non-positive capacity.
+const DefaultSeriesCap = 4096
+
+// NewSeries returns an empty series holding at most capacity points.
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCap
+	}
+	return &Series{buf: make([]Point, 0, capacity)}
+}
+
+// Append records a point, evicting the oldest when full. No-op on a nil
+// receiver.
+func (s *Series) Append(t int64, v float64) {
+	if s == nil {
+		return
+	}
+	if s.n < cap(s.buf) {
+		s.buf = append(s.buf, Point{T: t, V: finite(v)})
+		s.n++
+		return
+	}
+	s.buf[s.start] = Point{T: t, V: finite(v)}
+	s.start = (s.start + 1) % s.n
+}
+
+// Len returns the number of points held (0 on a nil receiver).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Points returns the held points in chronological order, as a fresh slice.
+func (s *Series) Points() []Point {
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	out := make([]Point, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%s.n])
+	}
+	return out
+}

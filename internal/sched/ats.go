@@ -1,5 +1,7 @@
 package sched
 
+import "repro/internal/metrics"
+
 // ATS is Adaptive Transaction Scheduling (Yoo & Lee, SPAA 2008), the
 // dynamically tuning software version the paper compares against. Each
 // static transaction carries a conflict-pressure moving average; when a
@@ -26,18 +28,35 @@ type ATS struct {
 	// queueOpCost models the user-space critical section protecting the
 	// queue (the futex costs are charged by the OS model on block/wake).
 	queueOpCost int64
+
+	// Decision-point instruments (nil = disabled, free).
+	metBlocks   *metrics.Counter // begins parked on the central queue
+	metSerial   *metrics.Counter // begins that took (or held) the token
+	metQueueLen *metrics.Summary // queue depth observed at each block
+	metAborts   *metrics.Counter
+	gate        *crossingTracker
 }
 
 // NewATS returns the manager with the tuning used in the evaluation:
 // history weight 0.7, serialization threshold 0.5.
 func NewATS(env Env) *ATS {
-	return &ATS{
+	a := &ATS{
 		env:         env,
 		pressure:    newPressureMeter(env.NumStatic, 0.7),
 		Threshold:   0.5,
 		tokenOwner:  -1,
 		queueOpCost: 60,
 	}
+	if reg := env.Metrics; reg != nil {
+		a.metBlocks = reg.Counter("sched.ats.blocks")
+		a.metSerial = reg.Counter("sched.ats.serial_begins")
+		a.metQueueLen = reg.Summary("sched.ats.queue_depth")
+		a.metAborts = reg.Counter("sched.aborts")
+		a.gate = newCrossingTracker(env.NumStatic, a.Threshold,
+			reg.Counter("sched.pressure.cross_up"),
+			reg.Counter("sched.pressure.cross_down"))
+	}
+	return a
 }
 
 // Name implements Manager.
@@ -52,6 +71,7 @@ func (a *ATS) OnBegin(tid, stx int) BeginResult {
 	if a.tokenOwner == tid {
 		// Woken as the queue head (or retrying after an abort while
 		// holding the token): run serially now.
+		a.metSerial.Inc()
 		return BeginResult{Action: Proceed, Overhead: a.queueOpCost}
 	}
 	if a.pressure.value(stx) <= a.Threshold {
@@ -60,9 +80,12 @@ func (a *ATS) OnBegin(tid, stx int) BeginResult {
 	// High pressure: serialize through the central queue.
 	if a.tokenOwner == -1 {
 		a.tokenOwner = tid
+		a.metSerial.Inc()
 		return BeginResult{Action: Proceed, Overhead: a.queueOpCost}
 	}
 	a.queue = append(a.queue, tid)
+	a.metBlocks.Inc()
+	a.metQueueLen.Observe(float64(len(a.queue)))
 	return BeginResult{Action: Block, Overhead: a.queueOpCost}
 }
 
@@ -73,8 +96,13 @@ func (a *ATS) OnCPUSlot(cpu, dtx int) {}
 // token-holding transaction keeps the token across the retry, preserving
 // its serial slot.
 func (a *ATS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
+	a.metAborts.Inc()
 	a.pressure.onConflict(stx)
 	a.pressure.onConflict(enemyStx)
+	if a.gate != nil {
+		a.gate.observe(stx, a.pressure.value(stx))
+		a.gate.observe(enemyStx, a.pressure.value(enemyStx))
+	}
 	shift := attempts
 	if shift > 8 {
 		shift = 8
@@ -88,6 +116,9 @@ func (a *ATS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
 // OnCommit implements Manager.
 func (a *ATS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
 	a.pressure.onCommit(stx)
+	if a.gate != nil {
+		a.gate.observe(stx, a.pressure.value(stx))
+	}
 	return 15
 }
 
@@ -109,3 +140,6 @@ func (a *ATS) OnTxEnded(tid, stx int, committed bool) {
 
 // QueueLen exposes the central queue depth (for tests and diagnostics).
 func (a *ATS) QueueLen() int { return len(a.queue) }
+
+// MeanPressure implements PressureReporter.
+func (a *ATS) MeanPressure() float64 { return a.pressure.mean() }

@@ -3,6 +3,7 @@ package sched
 import (
 	"repro/internal/core"
 	"repro/internal/hwaccel"
+	"repro/internal/metrics"
 )
 
 // BFGTSMode selects which of the paper's four BFGTS variants a manager
@@ -55,6 +56,15 @@ type BFGTS struct {
 	// PressureThreshold gates the hybrid: below it, behave like Backoff
 	// (paper value 0.25 with heavy history bias).
 	PressureThreshold float64
+
+	// Decision-point instruments (nil = disabled, free).
+	metPredictions *metrics.Counter // begin-time predictions made
+	metSerSpin     *metrics.Counter // serializations: spin-stall kind
+	metSerYield    *metrics.Counter // serializations: yield kind
+	metLightBegin  *metrics.Counter // hybrid: begins that skipped prediction
+	metLightCommit *metrics.Counter // hybrid: commits on the light path
+	metAborts      *metrics.Counter
+	gate           *crossingTracker // hybrid pressure-gate crossings
 }
 
 // NewBFGTS builds a manager variant. cfg seeds the core runtime; its
@@ -88,6 +98,22 @@ func NewBFGTS(env Env, mode BFGTSMode, cfg core.Config) *BFGTS {
 		// switching between backoff and BFGTS-HW is slow."
 		b.pressure = newPressureMeter(env.NumStatic, 0.95)
 	}
+	reg := env.Metrics
+	b.rt.SetMetrics(reg)
+	if b.bank != nil {
+		b.bank.SetMetrics(reg)
+	}
+	b.metPredictions = reg.Counter("sched.predictions")
+	b.metSerSpin = reg.Counter("sched.serialize.spin")
+	b.metSerYield = reg.Counter("sched.serialize.yield")
+	b.metAborts = reg.Counter("sched.aborts")
+	if b.pressure != nil && reg != nil {
+		b.metLightBegin = reg.Counter("sched.hybrid.light_begins")
+		b.metLightCommit = reg.Counter("sched.hybrid.light_commits")
+		b.gate = newCrossingTracker(env.NumStatic, b.PressureThreshold,
+			reg.Counter("sched.pressure.cross_up"),
+			reg.Counter("sched.pressure.cross_down"))
+	}
 	return b
 }
 
@@ -115,8 +141,10 @@ func (b *BFGTS) predict(tid, stx int) core.Prediction {
 // yield.
 func (b *BFGTS) OnBegin(tid, stx int) BeginResult {
 	if b.pressure != nil && b.pressure.value(stx) <= b.PressureThreshold {
+		b.metLightBegin.Inc()
 		return BeginResult{Action: Proceed, Overhead: 5}
 	}
+	b.metPredictions.Inc()
 	pred := b.predict(tid, stx)
 	if !pred.Conflict {
 		return BeginResult{Action: Proceed, Overhead: pred.Cycles}
@@ -126,6 +154,9 @@ func (b *BFGTS) OnBegin(tid, stx int) BeginResult {
 	action := SpinWait
 	if dec.Yield {
 		action = YieldRetry
+		b.metSerYield.Inc()
+	} else {
+		b.metSerSpin.Inc()
 	}
 	return BeginResult{
 		Action:   action,
@@ -152,9 +183,14 @@ func (b *BFGTS) OnCPUSlot(cpu, dtx int) {
 // OnAbort implements Manager: txConflict (Example 3) plus a short
 // randomized backoff (the underlying LogTM retry discipline).
 func (b *BFGTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
+	b.metAborts.Inc()
 	if b.pressure != nil {
 		b.pressure.onConflict(stx)
 		b.pressure.onConflict(enemyStx)
+		if b.gate != nil {
+			b.gate.observe(stx, b.pressure.value(stx))
+			b.gate.observe(enemyStx, b.pressure.value(enemyStx))
+		}
 	}
 	self := b.rt.Config().DTx(tid, stx)
 	enemy := b.rt.Config().DTx(enemyTid, enemyStx)
@@ -175,7 +211,11 @@ func (b *BFGTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size in
 	self := b.rt.Config().DTx(tid, stx)
 	if b.pressure != nil {
 		b.pressure.onCommit(stx)
+		if b.gate != nil {
+			b.gate.observe(stx, b.pressure.value(stx))
+		}
 		if b.pressure.value(stx) <= b.PressureThreshold {
+			b.metLightCommit.Inc()
 			return b.rt.CommitTxLight(self, size)
 		}
 	}
@@ -184,3 +224,16 @@ func (b *BFGTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size in
 
 // OnTxEnded implements Manager.
 func (b *BFGTS) OnTxEnded(tid, stx int, committed bool) {}
+
+// MeanConfidence implements ConfidenceReporter: the mean of the learned
+// confidence table, polled by the time-series sampler.
+func (b *BFGTS) MeanConfidence() float64 { return b.rt.MeanConf() }
+
+// MeanPressure implements PressureReporter for the hybrid variant; the
+// other variants keep no pressure meter and report zero.
+func (b *BFGTS) MeanPressure() float64 {
+	if b.pressure == nil {
+		return 0
+	}
+	return b.pressure.mean()
+}

@@ -17,7 +17,11 @@
 // charges as scheduling overhead.
 package sched
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/metrics"
+)
 
 // Action is the begin-time decision of a manager.
 type Action int
@@ -96,4 +100,22 @@ type Env struct {
 	Wake func(tid int)
 	// Rand is the deterministic random source for backoff jitter.
 	Rand *rand.Rand
+	// Metrics, when non-nil, receives the manager's decision-point
+	// instrumentation. Managers must tolerate nil (the disabled default).
+	Metrics *metrics.Registry
+}
+
+// ConfidenceReporter is an optional Manager extension exposing the mean
+// conflict confidence of the learned table — the signal whose oscillation
+// between serialized and optimistic phases the paper describes in §4.3.
+// The time-series sampler (internal/sim) polls it when present.
+type ConfidenceReporter interface {
+	MeanConfidence() float64
+}
+
+// PressureReporter is an optional Manager extension exposing the mean
+// ATS-style conflict pressure across static transactions. The time-series
+// sampler polls it when present.
+type PressureReporter interface {
+	MeanPressure() float64
 }

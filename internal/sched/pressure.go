@@ -1,5 +1,7 @@
 package sched
 
+import "repro/internal/metrics"
+
 // pressureMeter is the conflict-pressure moving average of ATS (Yoo &
 // Lee), kept per static transaction: it rises toward 1 on conflicts and
 // falls toward 0 on commits, with a configurable history weight alpha —
@@ -25,3 +27,46 @@ func (p *pressureMeter) onCommit(stx int) {
 
 // value returns the current conflict pressure of stx.
 func (p *pressureMeter) value(stx int) float64 { return p.values[stx] }
+
+// mean returns the average conflict pressure across all static
+// transactions (the sampler's phase signal).
+func (p *pressureMeter) mean() float64 {
+	if len(p.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range p.values {
+		sum += v
+	}
+	return sum / float64(len(p.values))
+}
+
+// crossingTracker counts how often each static transaction's pressure
+// crosses a gating threshold — the observable behind both ATS's serialize
+// decision and the §4.3 hybrid's backoff/BFGTS switch. observe is called
+// with the post-update pressure; a state flip in either direction counts
+// as one crossing on the corresponding counter.
+type crossingTracker struct {
+	threshold float64
+	high      []bool
+	up, down  *metrics.Counter
+}
+
+func newCrossingTracker(nStatic int, threshold float64, up, down *metrics.Counter) *crossingTracker {
+	return &crossingTracker{threshold: threshold, high: make([]bool, nStatic), up: up, down: down}
+}
+
+// observe folds in the current pressure of stx, counting a crossing if the
+// gate state flipped since the last observation.
+func (c *crossingTracker) observe(stx int, pressure float64) {
+	h := pressure > c.threshold
+	if h == c.high[stx] {
+		return
+	}
+	c.high[stx] = h
+	if h {
+		c.up.Inc()
+	} else {
+		c.down.Inc()
+	}
+}

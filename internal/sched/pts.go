@@ -3,6 +3,7 @@ package sched
 import (
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // PTS is Proactive Transaction Scheduling (Blake et al., MICRO 2009), the
@@ -42,6 +43,12 @@ type PTS struct {
 	scanEntryCost int64
 
 	bloomBits int
+
+	// Decision-point instruments (nil = disabled, free).
+	metScanLen *metrics.Histogram // CPU-table entries probed per begin scan
+	metSerial  *metrics.Counter   // begins that serialized behind a prediction
+	metEdges   *metrics.Gauge     // materialized conflict-graph edges
+	metAborts  *metrics.Counter
 }
 
 // NewPTS returns the manager with the standard configuration from the PTS
@@ -61,6 +68,12 @@ func NewPTS(env Env) *PTS {
 	}
 	for i := range p.cpuTable {
 		p.cpuTable[i] = core.NoTx
+	}
+	if reg := env.Metrics; reg != nil {
+		p.metScanLen = reg.Histogram("sched.pts.scan_len")
+		p.metSerial = reg.Counter("sched.pts.serializations")
+		p.metEdges = reg.Gauge("sched.pts.graph_edges")
+		p.metAborts = reg.Counter("sched.aborts")
 	}
 	return p
 }
@@ -100,17 +113,21 @@ func (p *PTS) OnBegin(tid, stx int) BeginResult {
 	selfCPU := p.env.CPUOf(tid)
 	res := BeginResult{Action: Proceed, WaitDTx: core.NoTx}
 	res.Overhead = 120 + int64(p.env.NumCPUs)*p.scanEntryCost
+	scanned := 0
 	for cpu, dtx := range p.cpuTable {
 		if cpu == selfCPU || dtx == core.NoTx {
 			continue
 		}
+		scanned++
 		if p.conf[[2]int{self, dtx}] > p.Threshold {
 			p.waitingOn[self] = dtx
 			res.Action = YieldRetry
 			res.WaitDTx = dtx
+			p.metSerial.Inc()
 			break
 		}
 	}
+	p.metScanLen.Observe(int64(scanned))
 	return res
 }
 
@@ -121,8 +138,10 @@ func (p *PTS) OnCPUSlot(cpu, dtx int) { p.cpuTable[cpu] = dtx }
 // transactions by the fixed increment.
 func (p *PTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
 	self, enemy := p.dtx(tid, stx), p.dtx(enemyTid, enemyStx)
+	p.metAborts.Inc()
 	p.addConf(self, enemy, p.Inc)
 	p.addConf(enemy, self, p.Inc)
+	p.metEdges.Set(float64(len(p.conf)))
 	shift := attempts
 	if shift > 8 {
 		shift = 8
@@ -150,6 +169,7 @@ func (p *PTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int)
 			} else {
 				p.addConf(self, waited, -p.Dec)
 			}
+			p.metEdges.Set(float64(len(p.conf)))
 			cost += 50
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tm"
@@ -64,7 +65,27 @@ type RunConfig struct {
 
 	// Trace, if non-nil, records per-transaction lifecycle events.
 	Trace *trace.Recorder
+
+	// Metrics, if non-nil, receives scheduler-internals instrumentation
+	// from every layer (manager decision points, core confidence updates,
+	// hardware caches, Bloom occupancy) plus the runner's own
+	// prediction-quality accounting and time-series sampler. Nil disables
+	// all of it at zero cost.
+	Metrics *metrics.Registry
+
+	// SampleInterval is the simulated-cycle period of the time-series
+	// sampler (pressure / mean confidence / abort-rate EWMA). Zero means
+	// DefaultSampleInterval. Only active when Metrics is set.
+	SampleInterval int64
 }
+
+// DefaultSampleInterval is the sampler period in simulated cycles.
+const DefaultSampleInterval = 100_000
+
+// predWaitCap bounds how many waited-on transactions one execution records
+// for prediction-quality classification; beyond it, further serializations
+// still count but are not classified.
+const predWaitCap = 8
 
 // Result is everything one simulation measured.
 type Result struct {
@@ -98,6 +119,10 @@ type Result struct {
 
 	// TimedOut reports the MaxCycles guard fired before completion.
 	TimedOut bool
+
+	// Metrics is the final snapshot of the run's registry (nil when
+	// RunConfig.Metrics was nil).
+	Metrics *metrics.Snapshot
 }
 
 // ContentionPct is Table 4's metric: the percentage of transaction
@@ -146,6 +171,10 @@ type threadCtx struct {
 	prevSet map[int]*bloom.ExactSet // per stx: previous committed set
 	sizeSum map[int]float64
 	sizeCnt map[int]int64
+
+	// predWaits holds the transactions this execution serialized behind on
+	// a predicted conflict, classified true/false at commit (metrics only).
+	predWaits []*tm.Tx
 }
 
 // Runner executes a workload through the TM under a contention manager.
@@ -170,6 +199,22 @@ type Runner struct {
 
 	makespan int64
 	timedOut bool
+
+	// Prediction-quality accounting and the time-series sampler (only
+	// wired when cfg.Metrics is set; all instrument pointers are nil-safe).
+	metPredSer   *metrics.Counter // serializations on a predicted conflict
+	metPredTrue  *metrics.Counter // ...whose counterparty really overlapped
+	metPredFalse *metrics.Counter // ...that waited on a non-overlapping tx
+	metPrecision *metrics.Gauge
+	metEstErr    *metrics.Summary // Eq. 3 estimate error vs exact intersection
+	predTrue     int64
+	predFalse    int64
+	tsPressure   *metrics.Series
+	tsConf       *metrics.Series
+	tsAbortRate  *metrics.Series
+	lastCommits  int64
+	lastAborts   int64
+	abortEwma    float64
 }
 
 // NewRunner wires up a simulation. Call Run to execute it.
@@ -212,8 +257,20 @@ func NewRunner(cfg RunConfig) *Runner {
 		CPUOf:      func(tid int) int { return tid % cfg.Cores },
 		Wake:       func(tid int) { mac.ThreadWake(r.ctxs[tid].th) },
 		Rand:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bf0f7c9)),
+		Metrics:    cfg.Metrics,
 	}
 	r.mgr = cfg.NewManager(env)
+
+	if reg := cfg.Metrics; reg != nil {
+		r.metPredSer = reg.Counter("sim.pred.serializations")
+		r.metPredTrue = reg.Counter("sim.pred.true")
+		r.metPredFalse = reg.Counter("sim.pred.false")
+		r.metPrecision = reg.Gauge("sim.pred.precision")
+		r.metEstErr = reg.Summary("bloom.est_error")
+		r.tsPressure = reg.Series("ts.pressure", metrics.DefaultSeriesCap)
+		r.tsConf = reg.Series("ts.mean_confidence", metrics.DefaultSeriesCap)
+		r.tsAbortRate = reg.Series("ts.abort_rate", metrics.DefaultSeriesCap)
+	}
 
 	r.sys.OnDoom = r.onRemoteDoom
 
@@ -238,24 +295,71 @@ func NewRunner(cfg RunConfig) *Runner {
 	return r
 }
 
-// emit records a trace event if tracing is enabled.
-func (r *Runner) emit(ctx *threadCtx, kind trace.Kind, other int, extra int64) {
+// emit records a trace event if tracing is enabled. other is the
+// counterparty's dTxID and otherStx its static ID (-1/-1 when none).
+func (r *Runner) emit(ctx *threadCtx, kind trace.Kind, other, otherStx int, extra int64) {
 	if r.cfg.Trace == nil {
 		return
 	}
 	r.cfg.Trace.Add(trace.Event{
-		Time:    r.eng.Now(),
-		Kind:    kind,
-		Tid:     ctx.tid,
-		Stx:     ctx.desc.STx,
-		Attempt: ctx.attempts,
-		Other:   other,
-		Extra:   extra,
+		Time:     r.eng.Now(),
+		Kind:     kind,
+		Tid:      ctx.tid,
+		Stx:      ctx.desc.STx,
+		Attempt:  ctx.attempts,
+		Other:    other,
+		OtherStx: otherStx,
+		Extra:    extra,
 	})
 }
 
 func (r *Runner) dtxOf(ctx *threadCtx) int {
 	return ctx.tid*r.cfg.Workload.NumStatic() + ctx.desc.STx
+}
+
+// stxOfDTx decodes the static transaction ID from a packed dTxID (-1 in,
+// -1 out).
+func (r *Runner) stxOfDTx(dtx int) int {
+	if dtx < 0 {
+		return -1
+	}
+	return dtx % r.cfg.Workload.NumStatic()
+}
+
+// recordPredWait remembers the transaction a predicted-conflict
+// serialization is waiting out, so the prediction can be classified
+// true/false at this execution's commit. Only active with metrics on.
+func (r *Runner) recordPredWait(ctx *threadCtx, waitDTx int) {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	r.metPredSer.Inc()
+	if len(ctx.predWaits) >= predWaitCap {
+		return
+	}
+	if wtx := r.sys.ActiveTx(waitDTx); wtx != nil {
+		ctx.predWaits = append(ctx.predWaits, wtx)
+	}
+}
+
+// classifyPredWaits settles this execution's recorded serializations: a
+// prediction was true if the waited-on transaction's final line set really
+// overlapped the committer's (with a write on at least one side), false
+// otherwise — per-manager precision falls out of the two counters.
+func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
+	if len(ctx.predWaits) == 0 {
+		return
+	}
+	for _, wtx := range ctx.predWaits {
+		if tx.ConflictsWith(wtx) {
+			r.metPredTrue.Inc()
+			r.predTrue++
+		} else {
+			r.metPredFalse.Inc()
+			r.predFalse++
+		}
+	}
+	ctx.predWaits = ctx.predWaits[:0]
 }
 
 func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.th.Core }
@@ -355,10 +459,12 @@ func (r *Runner) tryBegin(ctx *threadCtx) {
 		case sched.Proceed:
 			r.startTx(ctx)
 		case sched.SpinWait:
-			r.emit(ctx, trace.KSuspend, res.WaitDTx, 0)
+			r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
+			r.recordPredWait(ctx, res.WaitDTx)
 			r.beginSpin(ctx, res.WaitDTx, 20)
 		case sched.YieldRetry:
-			r.emit(ctx, trace.KSuspend, res.WaitDTx, 0)
+			r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
+			r.recordPredWait(ctx, res.WaitDTx)
 			ctx.resume = func() { r.tryBegin(ctx) }
 			r.mac.ThreadYield(ctx.th)
 		case sched.Block:
@@ -455,7 +561,7 @@ func (r *Runner) startTx(ctx *threadCtx) {
 	ctx.gap = ctx.desc.BodyCycles / n
 	ctx.th.Charge(CatTx, r.cfg.TMCosts.Begin)
 	ctx.txCycles += r.cfg.TMCosts.Begin
-	r.emit(ctx, trace.KBegin, -1, 0)
+	r.emit(ctx, trace.KBegin, -1, -1, 0)
 	r.setSlot(r.cpuOf(ctx), dtx)
 	r.eng.After(r.cfg.TMCosts.Begin, func() { r.stepAccess(ctx) })
 }
@@ -507,7 +613,7 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 	gen := ctx.waitGen
 	ctx.holder = holder
 	ctx.chargeMark = r.eng.Now()
-	r.emit(ctx, trace.KStall, holder.DTx, 0)
+	r.emit(ctx, trace.KStall, holder.DTx, holder.STx, 0)
 	r.stallWaiters[holder] = append(r.stallWaiters[holder], ctx)
 	budget := r.cfg.TMCosts.StallTimeout
 	if sp, ok := r.mgr.(sched.StallPolicy); ok {
@@ -611,11 +717,12 @@ func (r *Runner) commitTx(ctx *threadCtx) {
 		if r.cfg.ProfileSimilarity {
 			r.profileCommit(ctx, tx, size)
 		}
+		r.classifyPredWaits(ctx, tx)
 		r.sys.Commit(tx)
 		r.commitsPerStx[ctx.desc.STx]++
 		r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
 		r.attempts.Add(float64(ctx.attempts))
-		r.emit(ctx, trace.KCommit, -1, r.eng.Now()-ctx.execStart)
+		r.emit(ctx, trace.KCommit, -1, -1, r.eng.Now()-ctx.execStart)
 		ctx.tx = nil
 		r.setSlot(r.cpuOf(ctx), core.NoTx)
 		r.onTxReleased(tx)
@@ -655,6 +762,11 @@ func (r *Runner) profileCommit(ctx *threadCtx, tx *tm.Tx, size int) {
 			r.simSum[stx] += sim
 			r.simCnt[stx]++
 		}
+		if r.metEstErr != nil {
+			// Paper filter geometry (2048 bits, 4 hashes), matching the
+			// hardware signatures the estimator runs over.
+			r.metEstErr.Observe(bloom.EstimateIntersectionError(set, prev, 2048, bloom.DefaultHashes))
+		}
 	}
 	ctx.prevSet[stx] = set
 }
@@ -669,7 +781,7 @@ func (r *Runner) abortTx(ctx *threadCtx) {
 	ctx.th.Charge(CatAbort, ctx.txCycles)
 	ctx.txCycles = 0
 
-	r.emit(ctx, trace.KAbort, r.cfg.Workload.NumStatic()*tx.DoomedByTid+tx.DoomedByStx, 0)
+	r.emit(ctx, trace.KAbort, tx.DoomedByTid*r.cfg.Workload.NumStatic()+tx.DoomedByStx, tx.DoomedByStx, 0)
 	rollback := r.cfg.TMCosts.RollbackBase + r.cfg.TMCosts.RollbackPerLine*int64(tx.NumWrites())
 	ctx.th.Charge(CatAbort, rollback)
 	r.eng.After(rollback, func() {
@@ -692,8 +804,42 @@ func (r *Runner) abortTx(ctx *threadCtx) {
 	})
 }
 
+// scheduleSample arranges the next time-series sample. Sampling only reads
+// manager and TM state, so it cannot perturb the simulated schedule: a run
+// with metrics enabled takes the same cycle-level path as one without.
+func (r *Runner) scheduleSample(interval int64) {
+	r.eng.After(interval, func() {
+		if r.mac.LiveThreads() == 0 {
+			return
+		}
+		now := r.eng.Now()
+		if pr, ok := r.mgr.(sched.PressureReporter); ok {
+			r.tsPressure.Append(now, pr.MeanPressure())
+		}
+		if cr, ok := r.mgr.(sched.ConfidenceReporter); ok {
+			r.tsConf.Append(now, cr.MeanConfidence())
+		}
+		c, a := r.sys.Commits(), r.sys.Aborts()
+		dc, da := c-r.lastCommits, a-r.lastAborts
+		r.lastCommits, r.lastAborts = c, a
+		if dc+da > 0 {
+			const alpha = 0.3 // EWMA weight of the newest window
+			r.abortEwma = alpha*float64(da)/float64(dc+da) + (1-alpha)*r.abortEwma
+		}
+		r.tsAbortRate.Append(now, r.abortEwma)
+		r.scheduleSample(interval)
+	})
+}
+
 // Run executes the simulation to completion and returns its measurements.
 func (r *Runner) Run() *Result {
+	if r.cfg.Metrics != nil {
+		interval := r.cfg.SampleInterval
+		if interval <= 0 {
+			interval = DefaultSampleInterval
+		}
+		r.scheduleSample(interval)
+	}
 	r.mac.Start()
 	r.eng.Run(func() bool {
 		if r.cfg.MaxCycles > 0 && r.eng.Now() > r.cfg.MaxCycles {
@@ -730,6 +876,12 @@ func (r *Runner) Run() *Result {
 				res.Similarity[i] = r.simSum[i] / float64(r.simCnt[i])
 			}
 		}
+	}
+	if r.cfg.Metrics != nil {
+		if classified := r.predTrue + r.predFalse; classified > 0 {
+			r.metPrecision.Set(float64(r.predTrue) / float64(classified))
+		}
+		res.Metrics = r.cfg.Metrics.Snapshot()
 	}
 	return res
 }

@@ -179,3 +179,51 @@ func TestEWMABadAlphaPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestHistogramPercentileExtremesSingleBucket(t *testing.T) {
+	var h Histogram
+	h.Add(5) // single value, single bucket
+	p0, p100 := h.Percentile(0), h.Percentile(100)
+	if p0 != p100 {
+		t.Fatalf("single-bucket p0 %d != p100 %d", p0, p100)
+	}
+	if p100 < 5 {
+		t.Fatalf("p100 = %d, must bound the observed value 5", p100)
+	}
+	// Out-of-range p clamps rather than panicking or escaping the bounds.
+	if h.Percentile(-10) != p0 || h.Percentile(200) != p100 {
+		t.Fatal("out-of-range percentiles did not clamp")
+	}
+}
+
+func TestSummaryMergeMinMaxPropagation(t *testing.T) {
+	var a, b Summary
+	a.Add(5)
+	a.Add(10)
+	b.Add(-3)
+	b.Add(100)
+	a.Merge(&b)
+	if a.Min() != -3 {
+		t.Fatalf("merged min = %v, want -3", a.Min())
+	}
+	if a.Max() != 100 {
+		t.Fatalf("merged max = %v, want 100", a.Max())
+	}
+	if a.N() != 4 {
+		t.Fatalf("merged n = %d, want 4", a.N())
+	}
+
+	// Merging an empty summary must not disturb min/max.
+	var empty Summary
+	a.Merge(&empty)
+	if a.Min() != -3 || a.Max() != 100 || a.N() != 4 {
+		t.Fatalf("merge with empty changed stats: min %v max %v n %d", a.Min(), a.Max(), a.N())
+	}
+
+	// Merging into an empty summary adopts the other side's extremes.
+	var c Summary
+	c.Merge(&a)
+	if c.Min() != -3 || c.Max() != 100 || c.N() != 4 {
+		t.Fatalf("merge into empty: min %v max %v n %d", c.Min(), c.Max(), c.N())
+	}
+}

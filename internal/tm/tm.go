@@ -54,6 +54,27 @@ func (t *Tx) NumLines() int {
 	return n
 }
 
+// ConflictsWith reports whether the two transactions' line sets overlap
+// with a write on at least one side — the ground truth for "would these
+// two have conflicted had they run concurrently". Line sets survive
+// release, so this can be evaluated after either side has finished.
+func (t *Tx) ConflictsWith(o *Tx) bool {
+	for a := range t.writes {
+		if _, ok := o.writes[a]; ok {
+			return true
+		}
+		if _, ok := o.reads[a]; ok {
+			return true
+		}
+	}
+	for a := range o.writes {
+		if _, ok := t.reads[a]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Lines calls fn for every distinct line in the read/write set.
 func (t *Tx) Lines(fn func(addr uint64)) {
 	for a := range t.writes {

@@ -55,11 +55,15 @@ func (k Kind) String() string {
 type Event struct {
 	Time    int64 // simulated cycle
 	Kind    Kind
-	Tid     int   // thread
-	Stx     int   // static transaction
-	Attempt int   // attempt number within the execution (1-based)
-	Other   int   // dTxID of the counterparty (suspend/stall/abort), -1 otherwise
-	Extra   int64 // kind-specific payload (commit latency)
+	Tid     int // thread
+	Stx     int // static transaction
+	Attempt int // attempt number within the execution (1-based)
+	Other   int // dTxID of the counterparty (suspend/stall/abort), -1 otherwise
+	// OtherStx is the counterparty's static transaction ID, recorded
+	// explicitly rather than decoded from Other so analysis never depends
+	// on the runner's dTxID packing. -1 when there is no counterparty.
+	OtherStx int
+	Extra    int64 // kind-specific payload (commit latency)
 }
 
 // Recorder accumulates events up to a cap.
@@ -67,6 +71,7 @@ type Recorder struct {
 	Cap     int // maximum retained events; <=0 means DefaultCap
 	events  []Event
 	dropped int64
+	counts  [numKinds]int64
 }
 
 // DefaultCap bounds recorders that do not set Cap.
@@ -83,6 +88,9 @@ func (r *Recorder) Add(e Event) {
 		return
 	}
 	r.events = append(r.events, e)
+	if e.Kind < numKinds {
+		r.counts[e.Kind]++
+	}
 }
 
 // Events returns the retained events in record order.
@@ -91,11 +99,14 @@ func (r *Recorder) Events() []Event { return r.events }
 // Dropped returns how many events exceeded the cap.
 func (r *Recorder) Dropped() int64 { return r.dropped }
 
-// Counts tallies retained events per kind.
+// Counts tallies retained events per kind. The tallies are maintained
+// incrementally by Add, so this is O(kinds), not O(events).
 func (r *Recorder) Counts() map[Kind]int64 {
 	m := make(map[Kind]int64, int(numKinds))
-	for _, e := range r.events {
-		m[e.Kind]++
+	for k := Kind(0); k < numKinds; k++ {
+		if r.counts[k] > 0 {
+			m[k] = r.counts[k]
+		}
 	}
 	return m
 }
@@ -107,8 +118,8 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range r.events {
 		_, err := fmt.Fprintf(bw,
-			`{"t":%d,"kind":%q,"tid":%d,"stx":%d,"attempt":%d,"other":%d,"extra":%d}`+"\n",
-			e.Time, e.Kind.String(), e.Tid, e.Stx, e.Attempt, e.Other, e.Extra)
+			`{"t":%d,"kind":%q,"tid":%d,"stx":%d,"attempt":%d,"other":%d,"other_stx":%d,"extra":%d}`+"\n",
+			e.Time, e.Kind.String(), e.Tid, e.Stx, e.Attempt, e.Other, e.OtherStx, e.Extra)
 		if err != nil {
 			return err
 		}
@@ -137,10 +148,9 @@ func (r *Recorder) ConflictChains(numStatic int) [][]int64 {
 		m[i] = make([]int64, numStatic)
 	}
 	for _, e := range r.events {
-		if (e.Kind == KSuspend || e.Kind == KStall || e.Kind == KAbort) && e.Other >= 0 {
-			otherStx := e.Other % numStatic
-			if e.Stx < numStatic {
-				m[e.Stx][otherStx]++
+		if (e.Kind == KSuspend || e.Kind == KStall || e.Kind == KAbort) && e.OtherStx >= 0 {
+			if e.Stx < numStatic && e.OtherStx < numStatic {
+				m[e.Stx][e.OtherStx]++
 			}
 		}
 	}

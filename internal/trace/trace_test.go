@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -64,9 +65,9 @@ func TestKindStrings(t *testing.T) {
 func TestConflictChains(t *testing.T) {
 	var r Recorder
 	// stx 0 stalls behind dTx of (thread 3, stx 1) with 2 statics.
-	r.Add(Event{Kind: KStall, Stx: 0, Other: 3*2 + 1})
-	r.Add(Event{Kind: KAbort, Stx: 0, Other: 3*2 + 1})
-	r.Add(Event{Kind: KCommit, Stx: 0, Other: -1})
+	r.Add(Event{Kind: KStall, Stx: 0, Other: 3*2 + 1, OtherStx: 1})
+	r.Add(Event{Kind: KAbort, Stx: 0, Other: 3*2 + 1, OtherStx: 1})
+	r.Add(Event{Kind: KCommit, Stx: 0, Other: -1, OtherStx: -1})
 	m := r.ConflictChains(2)
 	if m[0][1] != 2 {
 		t.Fatalf("chains[0][1] = %d, want 2", m[0][1])
@@ -83,5 +84,59 @@ func TestSummary(t *testing.T) {
 	s := r.Summary()
 	if !strings.Contains(s, "begin=1") || !strings.Contains(s, "commit=1") {
 		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestWriteJSONLEmpty(t *testing.T) {
+	var r Recorder
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty recorder wrote %q, want nothing", buf.String())
+	}
+}
+
+func TestWriteJSONLDroppedLine(t *testing.T) {
+	r := Recorder{Cap: 1}
+	r.Add(Event{Kind: KBegin, Other: -1, OtherStx: -1})
+	r.Add(Event{Kind: KCommit, Other: -1, OtherStx: -1}) // over cap: dropped
+	r.Add(Event{Kind: KCommit, Other: -1, OtherStx: -1}) // over cap: dropped
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (one event + dropped marker):\n%s", len(lines), buf.String())
+	}
+	if lines[1] != `{"dropped":2}` {
+		t.Fatalf("dropped marker = %q", lines[1])
+	}
+	// Dropped events must not pollute the per-kind counters.
+	if c := r.Counts(); c[KCommit] != 0 || c[KBegin] != 1 {
+		t.Fatalf("counts after drops = %v", c)
+	}
+}
+
+func TestCountsO1MatchesScan(t *testing.T) {
+	var r Recorder
+	kinds := []Kind{KBegin, KBegin, KSuspend, KStall, KAbort, KCommit, KCommit, KCommit}
+	for _, k := range kinds {
+		r.Add(Event{Kind: k})
+	}
+	got := r.Counts()
+	want := map[Kind]int64{}
+	for _, e := range r.Events() {
+		want[e.Kind]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("Counts()[%v] = %d, want %d", k, got[k], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Counts() has %d kinds, want %d", len(got), len(want))
 	}
 }

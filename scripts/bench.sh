@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerates BENCH_1.json: the speedup experiment (Figure 4a matrix) at a
+# pinned configuration, exported through the schema-versioned JSON path.
+# The file is deterministic — same seed, same scale, byte-identical across
+# runs and across -parallel settings — so diffs against the committed copy
+# are real result changes, not noise.
+#
+# Usage: ./scripts/bench.sh [-scale 0.1] [-out BENCH_1.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+scale=0.1
+out=BENCH_1.json
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-scale) scale="$2"; shift 2 ;;
+	-out) out="$2"; shift 2 ;;
+	*) echo "usage: $0 [-scale S] [-out FILE]" >&2; exit 2 ;;
+	esac
+done
+
+go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale "$scale" -quiet -json-out "$out" >/dev/null
+go run ./scripts/jsonverify "$out"

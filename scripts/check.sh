@@ -7,6 +7,18 @@
 set -eu
 cd "$(dirname "$0")/.."
 set -x
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race "$@" ./...
+# Machine-readable output round trip: generate a small export and parse it
+# back through the schema.
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -json-out "$tmp" >/dev/null
+go run ./scripts/jsonverify "$tmp"

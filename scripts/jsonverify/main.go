@@ -1,0 +1,65 @@
+// Command jsonverify round-trips a bfgts-sim -json-out file back through
+// the harness.Export schema and fails if it does not parse, carries the
+// wrong schema version, or is structurally empty. check.sh runs it against
+// a freshly generated export so schema drift breaks the gate, not a
+// downstream consumer.
+//
+// Usage: go run ./scripts/jsonverify FILE
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonverify FILE")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err.Error())
+	}
+	var e harness.Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		fatal("parse: " + err.Error())
+	}
+	if e.SchemaVersion != harness.ExportSchemaVersion {
+		fatal(fmt.Sprintf("schema_version %d, want %d", e.SchemaVersion, harness.ExportSchemaVersion))
+	}
+	if len(e.Reports) == 0 {
+		fatal("no reports")
+	}
+	for _, rep := range e.Reports {
+		if rep.ID == "" {
+			fatal("report with empty id")
+		}
+		if len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+			fatal("report " + rep.ID + ": empty columns or rows")
+		}
+		for _, row := range rep.Rows {
+			if len(row) != len(rep.Columns) {
+				fatal(fmt.Sprintf("report %s: row width %d != %d columns", rep.ID, len(row), len(rep.Columns)))
+			}
+		}
+	}
+	// Re-encode and re-parse: the export must survive its own round trip.
+	out, err := json.Marshal(&e)
+	if err != nil {
+		fatal("re-encode: " + err.Error())
+	}
+	var again harness.Export
+	if err := json.Unmarshal(out, &again); err != nil {
+		fatal("re-parse: " + err.Error())
+	}
+	fmt.Printf("ok: %s (%d reports, schema v%d)\n", os.Args[1], len(e.Reports), e.SchemaVersion)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "jsonverify: "+msg)
+	os.Exit(1)
+}
