@@ -17,12 +17,19 @@
 // -json-out writes the full experiment matrix (every report, including
 // per-cell speedup values) as schema-versioned JSON; -metrics-out attaches
 // a metrics registry to a single run and writes its final snapshot.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the simulation
+// itself (profiling starts after flag parsing and the memory profile is
+// captured just before exit), for feeding `go tool pprof` when hunting
+// hot-path regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/core"
@@ -50,6 +57,8 @@ func main() {
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -57,6 +66,34 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Description)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel}

@@ -11,6 +11,12 @@ import "math"
 //	Eq. 4:  Similarity = |RWSet_{t−1} ∩ RWSet_t| / AvgRWSetSize
 //
 // calcSim in the paper's Example 4 is the literal composition of these.
+//
+// None of the estimator entry points allocate: the union term streams
+// popcounts over the two word arrays instead of materializing a third
+// filter, PopCount is maintained incrementally by Add, and the constant
+// Eq. 2 denominator k·ln(1−1/m) is computed once per filter geometry
+// (matching the paper's SimilarityOps note that it is precomputed).
 
 // EstimateCardinality implements Equation 2 for this filter: an estimate of
 // how many distinct keys were inserted, derived from the fill ratio. When
@@ -18,10 +24,23 @@ import "math"
 // the asymptote capped at m, which is the largest set a filter of m bits
 // can meaningfully witness.
 func (f *Filter) EstimateCardinality() float64 {
-	return cardinalityFromPopCount(f.PopCount(), int(f.m), int(f.k))
+	return f.cardinality(f.pop)
 }
 
-// cardinalityFromPopCount is Equation 2 as a pure function of (t, m, k).
+// cardinality is Equation 2 using the filter's precomputed denominator.
+func (f *Filter) cardinality(t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= int(f.m) {
+		return float64(f.m)
+	}
+	return math.Log1p(-float64(t)/float64(f.m)) / f.den
+}
+
+// cardinalityFromPopCount is Equation 2 as a pure function of (t, m, k),
+// for callers without a filter in hand. Filter methods use the precomputed
+// denominator instead of paying the Log1p on every call.
 func cardinalityFromPopCount(t, m, k int) float64 {
 	if t <= 0 {
 		return 0
@@ -35,14 +54,15 @@ func cardinalityFromPopCount(t, m, k int) float64 {
 }
 
 // EstimateIntersection implements Equation 3: the estimated cardinality of
-// the intersection of the sets encoded by f and other.
+// the intersection of the sets encoded by f and other. The union popcount
+// is streamed word-by-word, so no filter is materialized.
 //
 // The estimate can be slightly negative when the true intersection is empty
 // (the three estimates carry independent noise); it is clamped at zero
 // because a set cannot have negative size.
 func (f *Filter) EstimateIntersection(other *Filter) float64 {
 	f.mustMatch(other)
-	est := f.EstimateCardinality() + other.EstimateCardinality() - f.Union(other).EstimateCardinality()
+	est := f.cardinality(f.pop) + f.cardinality(other.pop) - f.cardinality(f.UnionPopCount(other))
 	if est < 0 {
 		return 0
 	}
@@ -67,11 +87,19 @@ func (f *Filter) SimilarityOps() (popcnts, logs int) {
 // estimated-vs-exact accuracy the paper's Figure 6 relies on a measurable
 // quantity rather than an assumption.
 func EstimateIntersectionError(a, b *ExactSet, mBits, k int) float64 {
-	fa := NewFilter(mBits, k)
+	return EstimateIntersectionErrorInto(a, b, NewFilter(mBits, k), NewFilter(mBits, k))
+}
+
+// EstimateIntersectionErrorInto is EstimateIntersectionError with
+// caller-provided scratch filters (reset before use), so per-commit
+// profiling does not allocate two filters every call. Both filters must
+// share a geometry.
+func EstimateIntersectionErrorInto(a, b *ExactSet, fa, fb *Filter) float64 {
+	fa.Reset()
 	for key := range a.keys {
 		fa.Add(key)
 	}
-	fb := NewFilter(mBits, k)
+	fb.Reset()
 	for key := range b.keys {
 		fb.Add(key)
 	}

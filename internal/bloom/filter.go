@@ -2,16 +2,24 @@ package bloom
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
 // Filter is a fixed-size Bloom filter over 64-bit keys (cache-line
 // addresses in this codebase). The paper evaluates sizes from 512 to 8192
 // bits with a small number of hash functions; both are configurable here.
+//
+// The filter keeps an incremental population count (updated by Add) and the
+// precomputed Eq. 2 denominator k·ln(1−1/m) for its geometry, so
+// PopCount/EstimateCardinality are O(1) and the Eq. 3 estimator never
+// recomputes the logarithm of a constant.
 type Filter struct {
 	words []uint64
 	m     uint64 // size in bits; power of two
 	k     uint64 // number of hash functions
+	pop   int    // set-bit count, maintained incrementally
+	den   float64
 }
 
 // DefaultHashes is the number of hash functions used throughout the
@@ -34,6 +42,7 @@ func NewFilter(mBits, k int) *Filter {
 		words: make([]uint64, mBits/64),
 		m:     uint64(mBits),
 		k:     uint64(k),
+		den:   float64(k) * math.Log1p(-1/float64(mBits)),
 	}
 }
 
@@ -52,7 +61,11 @@ func (f *Filter) Add(key uint64) {
 	h1, h2 := hashPair(key)
 	for i := uint64(0); i < f.k; i++ {
 		bit := (h1 + i*h2) & (f.m - 1)
-		f.words[bit>>6] |= 1 << (bit & 63)
+		mask := uint64(1) << (bit & 63)
+		if w := f.words[bit>>6]; w&mask == 0 {
+			f.words[bit>>6] = w | mask
+			f.pop++
+		}
 	}
 }
 
@@ -69,25 +82,21 @@ func (f *Filter) Test(key uint64) bool {
 	return true
 }
 
-// PopCount returns the number of set bits (the paper's t).
-func (f *Filter) PopCount() int {
-	n := 0
-	for _, w := range f.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+// PopCount returns the number of set bits (the paper's t). It is O(1): Add
+// maintains the count incrementally.
+func (f *Filter) PopCount() int { return f.pop }
 
 // Reset clears all bits.
 func (f *Filter) Reset() {
 	for i := range f.words {
 		f.words[i] = 0
 	}
+	f.pop = 0
 }
 
 // Clone returns an independent copy.
 func (f *Filter) Clone() *Filter {
-	c := &Filter{words: make([]uint64, len(f.words)), m: f.m, k: f.k}
+	c := &Filter{words: make([]uint64, len(f.words)), m: f.m, k: f.k, pop: f.pop, den: f.den}
 	copy(c.words, f.words)
 	return c
 }
@@ -97,28 +106,50 @@ func (f *Filter) Clone() *Filter {
 func (f *Filter) CopyFrom(src *Filter) {
 	f.mustMatch(src)
 	copy(f.words, src.words)
+	f.pop = src.pop
 }
 
 // Union ORs other into a freshly allocated filter, leaving both inputs
 // untouched. Filters must have identical geometry.
+//
+// This allocates a full filter (m/8 bytes) per call. Hot paths that only
+// need the union's cardinality should use EstimateIntersection /
+// UnionPopCount, which stream OnesCount64(a|b) over the words without
+// materializing anything.
 func (f *Filter) Union(other *Filter) *Filter {
 	f.mustMatch(other)
-	u := f.Clone()
+	u := &Filter{words: make([]uint64, len(f.words)), m: f.m, k: f.k, den: f.den}
 	for i, w := range other.words {
-		u.words[i] |= w
+		uw := f.words[i] | w
+		u.words[i] = uw
+		u.pop += bits.OnesCount64(uw)
 	}
 	return u
+}
+
+// UnionPopCount returns the number of set bits in the bitwise union of the
+// two filters without materializing it — one OnesCount64 per word.
+func (f *Filter) UnionPopCount(other *Filter) int {
+	f.mustMatch(other)
+	n := 0
+	for i, w := range other.words {
+		n += bits.OnesCount64(f.words[i] | w)
+	}
+	return n
 }
 
 // Intersect ANDs other into a freshly allocated filter. Note that a bitwise
 // AND of two Bloom filters over-approximates the true intersection; BFGTS
 // uses it only as the null test in commitTx (Example 4) and relies on the
-// estimator in estimate.go for cardinalities.
+// estimator in estimate.go for cardinalities. Like Union, this allocates;
+// use intersectsFilter/IntersectsNonNull for an allocation-free null test.
 func (f *Filter) Intersect(other *Filter) *Filter {
 	f.mustMatch(other)
-	u := f.Clone()
+	u := &Filter{words: make([]uint64, len(f.words)), m: f.m, k: f.k, den: f.den}
 	for i, w := range other.words {
-		u.words[i] &= w
+		uw := f.words[i] & w
+		u.words[i] = uw
+		u.pop += bits.OnesCount64(uw)
 	}
 	return u
 }
@@ -137,7 +168,7 @@ func (f *Filter) intersectsFilter(other *Filter) bool {
 
 // FillRatio returns t/m, the fraction of set bits.
 func (f *Filter) FillRatio() float64 {
-	return float64(f.PopCount()) / float64(f.m)
+	return float64(f.pop) / float64(f.m)
 }
 
 func (f *Filter) mustMatch(other *Filter) {

@@ -1,0 +1,48 @@
+package bloom
+
+import "testing"
+
+// TestEq3EstimateAllocFree pins the allocation contract of the estimator
+// entry points the simulator calls per commit: Eq. 2 over the incremental
+// popcount, Eq. 3 with the streamed union popcount, and the exact-error
+// probe with caller-provided scratch filters. None may touch the allocator.
+func TestEq3EstimateAllocFree(t *testing.T) {
+	a, b := NewExactSet(), NewExactSet()
+	for i := uint64(0); i < 40; i++ {
+		a.Add(i * 64)
+	}
+	for i := uint64(20); i < 60; i++ {
+		b.Add(i * 64)
+	}
+	fa := NewFilter(2048, DefaultHashes)
+	fb := NewFilter(2048, DefaultHashes)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(500, func() {
+		sink += fa.EstimateCardinality()
+		sink += fa.EstimateIntersection(fb)
+		sink += EstimateIntersectionErrorInto(a, b, fa, fb)
+	})
+	if allocs != 0 {
+		t.Fatalf("Eq. 3 estimation costs %v allocs/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkEq3Estimate measures one similarity probe at the paper's filter
+// geometry (2048 bits, 4 hashes): two filled signatures, one Eq. 3
+// intersection estimate. Pairs with TestEq3EstimateAllocFree.
+func BenchmarkEq3Estimate(b *testing.B) {
+	fa := NewFilter(2048, DefaultHashes)
+	fb := NewFilter(2048, DefaultHashes)
+	for i := uint64(0); i < 40; i++ {
+		fa.Add(i * 64)
+		fb.Add((i + 20) * 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += fa.EstimateIntersection(fb)
+	}
+	_ = sink
+}

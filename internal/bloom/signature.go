@@ -77,9 +77,9 @@ func (f *Filter) OverlapSignificant(other Signature) bool {
 	est := f.EstimateIntersection(o)
 
 	tUnionDisjoint := t1 + t2 - t1*t2/m
-	bias := cardinalityFromPopCount(int(t1), int(f.m), int(f.k)) +
-		cardinalityFromPopCount(int(t2), int(f.m), int(f.k)) -
-		cardinalityFromPopCount(int(tUnionDisjoint+0.5), int(f.m), int(f.k))
+	bias := f.cardinality(int(t1)) +
+		f.cardinality(int(t2)) -
+		f.cardinality(int(tUnionDisjoint+0.5))
 	if bias < 0 {
 		bias = 0
 	}

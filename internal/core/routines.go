@@ -117,9 +117,12 @@ type CommitResult struct {
 // prediction by intersecting signatures, strengthening the confidence if
 // the sets truly overlapped and decaying it otherwise.
 //
-// lines must enumerate the distinct cache lines of the read/write set and
-// writes the written subset; size is the distinct line count.
-func (r *Runtime) CommitTx(dtx int, lines, writes func(func(addr uint64)), size int) CommitResult {
+// lines must list the distinct cache lines of the read/write set and writes
+// the written subset; size is the distinct line count. The slices are only
+// read during the call (the runner passes reusable scratch buffers), and
+// the displaced previous signatures are recycled, so the steady-state
+// commit path performs no allocation.
+func (r *Runtime) CommitTx(dtx int, lines, writes []uint64, size int) CommitResult {
 	slot := r.dtxSlot(dtx)
 	st := &r.stats[slot]
 	cost := r.cost.Call + 2*r.cost.WordOp // updateAvgSize
@@ -141,10 +144,14 @@ func (r *Runtime) CommitTx(dtx int, lines, writes func(func(addr uint64)), size 
 
 	res := CommitResult{}
 	if runSim {
-		sig := r.newSignature()
-		lines(sig.Add)
-		wsig := r.newSignature()
-		writes(wsig.Add)
+		sig := r.getSignature()
+		for _, a := range lines {
+			sig.Add(a)
+		}
+		wsig := r.getSignature()
+		for _, a := range writes {
+			wsig.Add(a)
+		}
 		if r.met.fill != nil {
 			if f, ok := sig.(*bloom.Filter); ok {
 				r.met.fill.Observe(f.FillRatio())
@@ -165,6 +172,11 @@ func (r *Runtime) CommitTx(dtx int, lines, writes func(func(addr uint64)), size 
 			// and keep the neutral similarity prior.
 			st.hasHistory = true
 		}
+		// The displaced previous signatures have no remaining readers
+		// (validation below always consults the tables, never a stashed
+		// pointer) — recycle them.
+		r.putSignature(r.sigs[slot])
+		r.putSignature(r.wsigs[slot])
 		r.sigs[slot] = sig
 		r.wsigs[slot] = wsig
 		st.sinceSim = 0

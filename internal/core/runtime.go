@@ -107,6 +107,10 @@ type Runtime struct {
 	stats []txStats
 	sigs  []bloom.Signature
 	wsigs []bloom.Signature
+
+	// sigFree recycles signatures displaced from sigs/wsigs by a newer
+	// commit, so steady-state commit bookkeeping allocates nothing.
+	sigFree []bloom.Signature
 }
 
 // NewRuntime allocates a runtime for the given configuration and cost
@@ -261,6 +265,26 @@ func (r *Runtime) newSignature() bloom.Signature {
 		return bloom.NewExactSet()
 	}
 	return bloom.NewFilter(r.cfg.BloomBits, r.cfg.BloomHashes)
+}
+
+// getSignature returns an empty signature, reusing a recycled one when
+// available.
+func (r *Runtime) getSignature() bloom.Signature {
+	if n := len(r.sigFree); n > 0 {
+		s := r.sigFree[n-1]
+		r.sigFree[n-1] = nil
+		r.sigFree = r.sigFree[:n-1]
+		s.Reset()
+		return s
+	}
+	return r.newSignature()
+}
+
+// putSignature recycles a signature no longer referenced by the tables.
+func (r *Runtime) putSignature(s bloom.Signature) {
+	if s != nil {
+		r.sigFree = append(r.sigFree, s)
+	}
 }
 
 func (r *Runtime) String() string {

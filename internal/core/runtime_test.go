@@ -107,18 +107,12 @@ func testLine(dtx, i int) uint64 {
 }
 
 func commitWithLines(r *Runtime, dtx, n int) CommitResult {
-	lines := func(emit func(uint64)) {
-		for i := 0; i < n; i++ {
-			emit(testLine(dtx, i))
-		}
+	lines := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		lines = append(lines, testLine(dtx, i))
 	}
 	// Tests treat half the footprint as written.
-	writes := func(emit func(uint64)) {
-		for i := 0; i < (n+1)/2; i++ {
-			emit(testLine(dtx, i))
-		}
-	}
-	return r.CommitTx(dtx, lines, writes, n)
+	return r.CommitTx(dtx, lines, lines[:(n+1)/2], n)
 }
 
 func TestCommitUpdatesAvgSizeEWMA(t *testing.T) {
@@ -150,11 +144,9 @@ func TestSimilarityLowForDisjointSets(t *testing.T) {
 	d := r.Config().DTx(0, 0)
 	base := uint64(0)
 	for i := 0; i < 6; i++ {
-		start := base
-		lines := func(emit func(uint64)) {
-			for a := start; a < start+30; a++ {
-				emit(a * 977) // spread lines; disjoint across commits
-			}
+		lines := make([]uint64, 0, 30)
+		for a := base; a < base+30; a++ {
+			lines = append(lines, a*977) // spread lines; disjoint across commits
 		}
 		r.CommitTx(d, lines, lines, 30)
 		base += 30
@@ -219,17 +211,11 @@ func TestCommitValidatesSerializationPrediction(t *testing.T) {
 	before := r.Conf(0, 1)
 	// d0 commits with the SAME lines d1 used (and writes half of them):
 	// intersection non-null, confidence must rise.
-	sameLines := func(emit func(uint64)) {
-		for i := 0; i < 20; i++ {
-			emit(testLine(d1, i))
-		}
+	sameLines := make([]uint64, 0, 20)
+	for i := 0; i < 20; i++ {
+		sameLines = append(sameLines, testLine(d1, i))
 	}
-	sameWrites := func(emit func(uint64)) {
-		for i := 0; i < 10; i++ {
-			emit(testLine(d1, i))
-		}
-	}
-	r.CommitTx(d0, sameLines, sameWrites, 20)
+	r.CommitTx(d0, sameLines, sameLines[:10], 20)
 	if r.Conf(0, 1) <= before {
 		t.Fatalf("overlapping serialized commit did not raise confidence (%v -> %v)",
 			before, r.Conf(0, 1))

@@ -631,7 +631,7 @@ type stateCapture struct {
 }
 
 // OnCommit intercepts to refresh the snapshot periodically.
-func (s *stateCapture) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (s *stateCapture) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	cost := s.BFGTS.OnCommit(tid, stx, lines, writes, size)
 	s.commits++
 	if s.commits%512 == 0 {

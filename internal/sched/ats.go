@@ -114,7 +114,7 @@ func (a *ATS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
 }
 
 // OnCommit implements Manager.
-func (a *ATS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (a *ATS) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	a.pressure.onCommit(stx)
 	if a.gate != nil {
 		a.gate.observe(stx, a.pressure.value(stx))

@@ -43,7 +43,7 @@ func (b *Backoff) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResul
 }
 
 // OnCommit implements Manager: no commit-time bookkeeping.
-func (b *Backoff) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (b *Backoff) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	return 0
 }
 

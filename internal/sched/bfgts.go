@@ -207,7 +207,7 @@ func (b *BFGTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult 
 
 // OnCommit implements Manager: commitTx (Example 4). In hybrid mode with
 // low pressure the Bloom-filter work is skipped (Section 4.3).
-func (b *BFGTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (b *BFGTS) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	self := b.rt.Config().DTx(tid, stx)
 	if b.pressure != nil {
 		b.pressure.onCommit(stx)

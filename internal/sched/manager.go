@@ -78,11 +78,13 @@ type Manager interface {
 	// of this execution including the aborted one.
 	OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult
 
-	// OnCommit is called when (tid, stx) commits; lines enumerates the
-	// distinct cache lines of its read/write set, writes the written
-	// subset, and size is the distinct line count. It returns the
-	// bookkeeping cost in cycles.
-	OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64
+	// OnCommit is called when (tid, stx) commits; lines lists the distinct
+	// cache lines of its read/write set, writes the written subset, and
+	// size is the distinct line count (which may differ from len(lines)
+	// for callers that emit duplicates). The slices are scratch buffers
+	// valid only for the duration of the call — managers must copy what
+	// they keep. It returns the bookkeeping cost in cycles.
+	OnCommit(tid, stx int, lines, writes []uint64, size int) int64
 
 	// OnTxEnded is called when the dynamic transaction fully ends
 	// (committed, or rolled back and about to retry).

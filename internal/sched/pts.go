@@ -30,6 +30,9 @@ type PTS struct {
 	conf map[[2]int]float64
 	// sigs holds each dTxID's most recent committed read/write-set filter.
 	sigs map[int]*bloom.Filter
+	// sigFree recycles filters displaced from sigs, so steady-state commits
+	// reuse instead of allocating one filter per commit.
+	sigFree []*bloom.Filter
 	// waitingOn records the dTxID each dTxID last serialized behind.
 	waitingOn map[int]int
 
@@ -154,10 +157,20 @@ func (p *PTS) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult {
 
 // OnCommit implements Manager: save the new filter and validate any
 // recorded serialization with a raw bitwise intersection.
-func (p *PTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (p *PTS) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	self := p.dtx(tid, stx)
-	sig := bloom.NewFilter(p.bloomBits, bloom.DefaultHashes)
-	lines(sig.Add)
+	var sig *bloom.Filter
+	if n := len(p.sigFree); n > 0 {
+		sig = p.sigFree[n-1]
+		p.sigFree[n-1] = nil
+		p.sigFree = p.sigFree[:n-1]
+		sig.Reset()
+	} else {
+		sig = bloom.NewFilter(p.bloomBits, bloom.DefaultHashes)
+	}
+	for _, a := range lines {
+		sig.Add(a)
+	}
 	cost := int64(100) + int64(size)*2 // build filter, bookkeeping
 
 	if waited, ok := p.waitingOn[self]; ok {
@@ -172,6 +185,11 @@ func (p *PTS) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int)
 			p.metEdges.Set(float64(len(p.conf)))
 			cost += 50
 		}
+	}
+	if prev := p.sigs[self]; prev != nil {
+		// The displaced filter was only consulted above (as the waited-on
+		// side of validation, never self), so it is safe to recycle.
+		p.sigFree = append(p.sigFree, prev)
 	}
 	p.sigs[self] = sig
 	return cost

@@ -81,7 +81,7 @@ func (p *Polite) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult
 }
 
 // OnCommit implements Manager.
-func (p *Polite) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (p *Polite) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	return 0
 }
 
@@ -134,7 +134,7 @@ func (k *Karma) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortResult 
 }
 
 // OnCommit implements Manager.
-func (k *Karma) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (k *Karma) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	return 0
 }
 
@@ -185,7 +185,7 @@ func (t *TimestampCM) OnAbort(tid, stx, enemyTid, enemyStx, attempts int) AbortR
 }
 
 // OnCommit implements Manager.
-func (t *TimestampCM) OnCommit(tid, stx int, lines, writes func(func(uint64)), size int) int64 {
+func (t *TimestampCM) OnCommit(tid, stx int, lines, writes []uint64, size int) int64 {
 	return 0
 }
 

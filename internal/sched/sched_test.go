@@ -96,7 +96,7 @@ func TestATSHighPressureSerializes(t *testing.T) {
 		t.Fatalf("queue length = %d, want 2", a.QueueLen())
 	}
 	// Token holder commits: head of queue is woken and proceeds.
-	a.OnCommit(3, 0, func(func(uint64)) {}, func(func(uint64)) {}, 1)
+	a.OnCommit(3, 0, nil, nil, 1)
 	a.OnTxEnded(3, 0, true)
 	if len(*woken) != 1 || (*woken)[0] != 4 {
 		t.Fatalf("woken = %v, want [4]", *woken)
@@ -124,20 +124,14 @@ func TestATSPressureDecaysOnCommit(t *testing.T) {
 	raiseATSPressure(a, 0)
 	p := a.Pressure(0)
 	for i := 0; i < 30; i++ {
-		a.OnCommit(0, 0, func(func(uint64)) {}, func(func(uint64)) {}, 1)
+		a.OnCommit(0, 0, nil, nil, 1)
 	}
 	if a.Pressure(0) >= p || a.Pressure(0) > a.Threshold {
 		t.Fatalf("pressure did not decay: %v -> %v", p, a.Pressure(0))
 	}
 }
 
-func linesOf(addrs ...uint64) func(func(uint64)) {
-	return func(emit func(uint64)) {
-		for _, a := range addrs {
-			emit(a)
-		}
-	}
-}
+func linesOf(addrs ...uint64) []uint64 { return addrs }
 
 func TestPTSLearnsAndSerializes(t *testing.T) {
 	env, _ := testEnv(4, 16, 2)
@@ -259,12 +253,7 @@ func TestBFGTSSpinVsYieldBySize(t *testing.T) {
 	for i := range bigLines {
 		bigLines[i] = uint64(10000+i) * 64
 	}
-	emitBig := func(emit func(uint64)) {
-		for _, a := range bigLines {
-			emit(a)
-		}
-	}
-	rt.CommitTx(big, emitBig, emitBig, 50)
+	rt.CommitTx(big, bigLines, bigLines, 50)
 
 	for i := 0; i < 10; i++ {
 		b.OnAbort(0, 0, 1, 1, 1)
@@ -340,16 +329,11 @@ func TestHybridCommitLightUnderLowPressure(t *testing.T) {
 	for i := range lines {
 		lines[i] = uint64(i) * 64
 	}
-	emit := func(e func(uint64)) {
-		for _, a := range lines {
-			e(a)
-		}
-	}
 	// Warm both with one commit so similarity work happens on the second.
-	b.OnCommit(0, 0, emit, emit, 40)
-	full.OnCommit(0, 0, emit, emit, 40)
-	calm := b.OnCommit(0, 0, emit, emit, 40)
-	busy := full.OnCommit(0, 0, emit, emit, 40)
+	b.OnCommit(0, 0, lines, lines, 40)
+	full.OnCommit(0, 0, lines, lines, 40)
+	calm := b.OnCommit(0, 0, lines, lines, 40)
+	busy := full.OnCommit(0, 0, lines, lines, 40)
 	if calm >= busy {
 		t.Fatalf("calm hybrid commit (%d cyc) not cheaper than full commit (%d cyc)", calm, busy)
 	}

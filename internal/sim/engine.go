@@ -12,8 +12,6 @@
 // single-threaded and event ties break on insertion order.
 package sim
 
-import "container/heap"
-
 // Engine is a discrete-event scheduler. Events fire in (time, insertion
 // sequence) order, which makes simulations deterministic.
 type Engine struct {
@@ -31,7 +29,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() int64 { return e.now }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events.ev) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (before
 // Now) panics: it would silently reorder causality.
@@ -40,7 +38,7 @@ func (e *Engine) At(t int64, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now. Negative delays panic.
@@ -48,15 +46,32 @@ func (e *Engine) After(d int64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AfterArg schedules fn(arg) to run d cycles from now. Carrying the
+// argument in the event lets callers reuse one long-lived closure for
+// events that must snapshot a value at schedule time (generation counters),
+// instead of allocating a fresh closure per event.
+func (e *Engine) AfterArg(d int64, fn func(uint64), arg uint64) {
+	t := e.now + d
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.events.push(event{time: t, seq: e.seq, fnArg: fn, arg: arg})
+}
+
 // Step fires the next event, if any, advancing time to it. It reports
 // whether an event was fired.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.events.ev) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.time
-	ev.fn()
+	if ev.fnArg != nil {
+		ev.fnArg(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -75,28 +90,68 @@ type event struct {
 	time int64
 	seq  uint64
 	fn   func()
+	// fnArg+arg is the argument-carrying form used by AfterArg; exactly one
+	// of fn and fnArg is set.
+	fnArg func(uint64)
+	arg   uint64
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap of events stored by value, ordered by
+// (time, seq). Storing values instead of *event pointers means push/pop
+// never touch the allocator once the backing array has grown to the
+// simulation's churn depth: pop truncates the slice in place and push
+// reuses the freed capacity. The (time, seq) order is total (seq is
+// unique), so the pop sequence is identical to the previous
+// container/heap-based implementation regardless of internal layout.
+type eventHeap struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push inserts an event and sifts it up.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the heap does not pin the fired closure past its dispatch.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{}
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+	return top
 }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineDispatchAllocFree proves the event churn cycle — schedule one
+// event, fire one event — stays off the allocator once the value heap has
+// grown to the simulation's churn depth. This is the property the
+// value-based heap exists for: container/heap with *event pointers paid one
+// allocation per push.
+func TestEngineDispatchAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	argFn := func(uint64) {}
+	for i := 0; i < 64; i++ { // grow the heap's backing array once
+		e.After(int64(i), fn)
+	}
+	for e.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.AfterArg(2, argFn, 7)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("event dispatch costs %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineChurn measures push+pop through a heap holding a realistic
+// pending-event population (one event in flight per simulated thread).
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	const depth = 64
+	for i := 0; i < depth; i++ {
+		e.After(int64(i%17), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(int64(i%31), fn)
+		e.Step()
+	}
+}
+
+// TestRunnerScratchPoolParallel exercises the shared thread-scratch pool
+// from concurrent runners (the harness's worker-pool shape) under the race
+// detector, and checks that a run on recycled scratch is cycle-identical to
+// the run that warmed it — pooling must not leak state between runs.
+func TestRunnerScratchPoolParallel(t *testing.T) {
+	run := func(seed uint64) *Result {
+		w := newSynth("pool", 1, 30, 4)
+		r := NewRunner(RunConfig{
+			Cores:             4,
+			ThreadsPerCore:    2,
+			Seed:              seed,
+			Workload:          w,
+			NewManager:        managerFactory("bfgts-hw"),
+			MaxCycles:         2_000_000_000,
+			ProfileSimilarity: true,
+		})
+		res := r.Run()
+		if res.TimedOut {
+			t.Error("run timed out")
+		}
+		return res
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := uint64(g + 1)
+			first := run(seed)
+			second := run(seed) // reuses scratch released by the first run
+			if first.Makespan != second.Makespan || first.Commits != second.Commits {
+				t.Errorf("seed %d: pooled rerun diverged: makespan %d vs %d, commits %d vs %d",
+					seed, first.Makespan, second.Makespan, first.Commits, second.Commits)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/bloom"
 	"repro/internal/core"
@@ -167,14 +168,104 @@ type threadCtx struct {
 	waitDTx    int    // begin-spin target
 	chargeMark int64  // start of the current spin charging interval
 
+	// Variant data for the cached continuations below: the pending begin
+	// decision and beginSpin's (target, grace) arguments. At most one
+	// control-flow event is pending per thread, so plain fields suffice;
+	// only the generation-guarded checks (which can coexist with newer
+	// control flow) snapshot state into the event via AfterArg.
+	beginRes   sched.BeginResult
+	spinTarget int
+	spinGrace  int
+
+	*ctxScratch
+
+	// Cached continuations, bound once per run by bindContinuations so
+	// steady-state event scheduling allocates no closures.
+	contFetchNext    func()
+	contNonTx        func()
+	contNonTxStep    func()
+	contTryBegin     func()
+	contBeginAct     func()
+	contBeginSpin    func()
+	contStepAccess   func()
+	contAccess       func()
+	contCommit       func()
+	contPostCommit   func()
+	contRollback     func()
+	contPostAbort    func()
+	contAbort        func()
+	contSpinCheck    func(gen uint64)
+	contStallTimeout func(gen uint64)
+}
+
+// ctxScratch holds a thread context's reusable allocations: the commit-path
+// line buffers, the prediction-classification slots, and the exact-
+// similarity profiler's sets and scratch filters. Scratches are pooled
+// across runs, so repeated simulations in one process (parameter sweeps,
+// the parallel harness) stop paying per-thread warm-up allocations.
+type ctxScratch struct {
+	linesBuf  []uint64 // distinct read/write-set lines of the committing tx
+	writesBuf []uint64 // written subset
+
+	// predWaits holds the transactions this execution serialized behind on
+	// a predicted conflict, classified true/false at commit (metrics only).
+	// Each entry is pinned in the TM so its line sets survive until then.
+	predWaits []*tm.Tx
+
 	// Exact-similarity profiling.
 	prevSet map[int]*bloom.ExactSet // per stx: previous committed set
 	sizeSum map[int]float64
 	sizeCnt map[int]int64
+	setFree []*bloom.ExactSet // recycled sets displaced from prevSet
+	estFA   *bloom.Filter     // scratch filters for Eq. 3 error profiling
+	estFB   *bloom.Filter
+}
 
-	// predWaits holds the transactions this execution serialized behind on
-	// a predicted conflict, classified true/false at commit (metrics only).
-	predWaits []*tm.Tx
+var scratchPool = sync.Pool{New: func() any { return &ctxScratch{} }}
+
+// getScratch takes a scratch from the pool, lazily building the profiling
+// maps when exact-similarity profiling is on.
+func getScratch(profile bool) *ctxScratch {
+	s := scratchPool.Get().(*ctxScratch)
+	if profile && s.prevSet == nil {
+		s.prevSet = make(map[int]*bloom.ExactSet)
+		s.sizeSum = make(map[int]float64)
+		s.sizeCnt = make(map[int]int64)
+	}
+	return s
+}
+
+// release empties the scratch (keeping capacity) and returns it to the pool.
+func (s *ctxScratch) release() {
+	s.linesBuf = s.linesBuf[:0]
+	s.writesBuf = s.writesBuf[:0]
+	for i := range s.predWaits {
+		s.predWaits[i] = nil
+	}
+	s.predWaits = s.predWaits[:0]
+	for stx, set := range s.prevSet {
+		set.Reset()
+		s.setFree = append(s.setFree, set)
+		delete(s.prevSet, stx)
+	}
+	clear(s.sizeSum)
+	clear(s.sizeCnt)
+	scratchPool.Put(s)
+}
+
+func (s *ctxScratch) getExactSet() *bloom.ExactSet {
+	if n := len(s.setFree); n > 0 {
+		set := s.setFree[n-1]
+		s.setFree[n-1] = nil
+		s.setFree = s.setFree[:n-1]
+		return set
+	}
+	return bloom.NewExactSet()
+}
+
+func (s *ctxScratch) putExactSet(set *bloom.ExactSet) {
+	set.Reset()
+	s.setFree = append(s.setFree, set)
 }
 
 // Runner executes a workload through the TM under a contention manager.
@@ -215,6 +306,10 @@ type Runner struct {
 	lastCommits  int64
 	lastAborts   int64
 	abortEwma    float64
+
+	// Time-series sampler: one cached closure rescheduling itself.
+	sampleEvery int64
+	sampleFn    func()
 }
 
 // NewRunner wires up a simulation. Call Run to execute it.
@@ -278,21 +373,59 @@ func NewRunner(cfg RunConfig) *Runner {
 	for tid := 0; tid < nThreads; tid++ {
 		th := mac.AddThread(tid % cfg.Cores)
 		ctx := &threadCtx{
-			tid:     tid,
-			th:      th,
-			prog:    cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
-			waitDTx: core.NoTx,
+			tid:        tid,
+			th:         th,
+			prog:       cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
+			waitDTx:    core.NoTx,
+			ctxScratch: getScratch(cfg.ProfileSimilarity),
 		}
-		if cfg.ProfileSimilarity {
-			ctx.prevSet = make(map[int]*bloom.ExactSet)
-			ctx.sizeSum = make(map[int]float64)
-			ctx.sizeCnt = make(map[int]int64)
-		}
-		ctx.resume = func() { r.fetchNext(ctx) }
+		r.bindContinuations(ctx)
+		ctx.resume = ctx.contFetchNext
 		r.ctxs = append(r.ctxs, ctx)
 	}
 	mac.OnDispatch = r.dispatched
 	return r
+}
+
+// bindContinuations builds the thread's reusable event closures once, so
+// steady-state event scheduling never allocates: every After call passes
+// one of these long-lived funcs, with variant data carried in ctx fields
+// (beginRes, spinTarget/spinGrace) or in the event itself (the AfterArg
+// generation snapshots).
+func (r *Runner) bindContinuations(ctx *threadCtx) {
+	ctx.contFetchNext = func() { r.fetchNext(ctx) }
+	ctx.contNonTx = func() { r.runNonTx(ctx) }
+	ctx.contTryBegin = func() { r.tryBegin(ctx) }
+	ctx.contStepAccess = func() { r.stepAccess(ctx) }
+	ctx.contAbort = func() { r.abortTx(ctx) }
+	ctx.contNonTxStep = func() {
+		ctx.resume = ctx.contNonTx
+		if r.maybePreempt(ctx) {
+			return
+		}
+		r.runNonTx(ctx)
+	}
+	ctx.contBeginAct = func() { r.actOnBegin(ctx) }
+	ctx.contBeginSpin = func() { r.beginSpin(ctx, ctx.spinTarget, ctx.spinGrace) }
+	ctx.contAccess = func() { r.performAccess(ctx) }
+	ctx.contCommit = func() { r.finishCommit(ctx) }
+	ctx.contPostCommit = func() {
+		ctx.resume = ctx.contFetchNext
+		if r.maybePreempt(ctx) {
+			return
+		}
+		r.fetchNext(ctx)
+	}
+	ctx.contRollback = func() { r.finishAbort(ctx) }
+	ctx.contPostAbort = func() {
+		ctx.resume = ctx.contTryBegin
+		if r.maybePreempt(ctx) {
+			return
+		}
+		r.tryBegin(ctx)
+	}
+	ctx.contSpinCheck = func(gen uint64) { r.beginSpinCheck(ctx, gen) }
+	ctx.contStallTimeout = func(gen uint64) { r.stallTimeout(ctx, gen) }
 }
 
 // emit records a trace event if tracing is enabled. other is the
@@ -338,6 +471,10 @@ func (r *Runner) recordPredWait(ctx *threadCtx, waitDTx int) {
 		return
 	}
 	if wtx := r.sys.ActiveTx(waitDTx); wtx != nil {
+		// Pin: the waited-on transaction usually finishes before this
+		// execution commits, and its pooled storage must not be recycled
+		// while the classifier still holds the pointer.
+		r.sys.Pin(wtx)
 		ctx.predWaits = append(ctx.predWaits, wtx)
 	}
 }
@@ -350,7 +487,7 @@ func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
 	if len(ctx.predWaits) == 0 {
 		return
 	}
-	for _, wtx := range ctx.predWaits {
+	for i, wtx := range ctx.predWaits {
 		if tx.ConflictsWith(wtx) {
 			r.metPredTrue.Inc()
 			r.predTrue++
@@ -358,6 +495,8 @@ func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
 			r.metPredFalse.Inc()
 			r.predFalse++
 		}
+		r.sys.Unpin(wtx)
+		ctx.predWaits[i] = nil
 	}
 	ctx.predWaits = ctx.predWaits[:0]
 }
@@ -429,13 +568,7 @@ func (r *Runner) runNonTx(ctx *threadCtx) {
 	}
 	ctx.pendingPre -= chunk
 	ctx.th.Charge(CatNonTx, chunk)
-	r.eng.After(chunk, func() {
-		ctx.resume = func() { r.runNonTx(ctx) }
-		if r.maybePreempt(ctx) {
-			return
-		}
-		r.runNonTx(ctx)
-	})
+	r.eng.After(chunk, ctx.contNonTxStep)
 }
 
 // tryBegin consults the contention manager and acts on its decision.
@@ -454,24 +587,30 @@ func (r *Runner) tryBegin(ctx *threadCtx) {
 		// predictors immediately, which serializes same-instant begins.
 		r.setSlot(r.cpuOf(ctx), r.dtxOf(ctx))
 	}
-	r.eng.After(res.Overhead, func() {
-		switch res.Action {
-		case sched.Proceed:
-			r.startTx(ctx)
-		case sched.SpinWait:
-			r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
-			r.recordPredWait(ctx, res.WaitDTx)
-			r.beginSpin(ctx, res.WaitDTx, 20)
-		case sched.YieldRetry:
-			r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
-			r.recordPredWait(ctx, res.WaitDTx)
-			ctx.resume = func() { r.tryBegin(ctx) }
-			r.mac.ThreadYield(ctx.th)
-		case sched.Block:
-			ctx.resume = func() { r.tryBegin(ctx) }
-			r.mac.ThreadBlock(ctx.th)
-		}
-	})
+	ctx.beginRes = res
+	r.eng.After(res.Overhead, ctx.contBeginAct)
+}
+
+// actOnBegin acts on the manager's begin decision once its overhead has
+// elapsed.
+func (r *Runner) actOnBegin(ctx *threadCtx) {
+	res := ctx.beginRes
+	switch res.Action {
+	case sched.Proceed:
+		r.startTx(ctx)
+	case sched.SpinWait:
+		r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
+		r.recordPredWait(ctx, res.WaitDTx)
+		r.beginSpin(ctx, res.WaitDTx, 20)
+	case sched.YieldRetry:
+		r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
+		r.recordPredWait(ctx, res.WaitDTx)
+		ctx.resume = ctx.contTryBegin
+		r.mac.ThreadYield(ctx.th)
+	case sched.Block:
+		ctx.resume = ctx.contTryBegin
+		r.mac.ThreadBlock(ctx.th)
+	}
 }
 
 // beginSpin busy-waits until waitDTx is no longer active, then re-runs the
@@ -485,11 +624,13 @@ func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
 		const recheck = 30
 		ctx.th.Charge(CatScheduling, recheck)
 		if grace > 0 {
-			r.eng.After(recheck, func() { r.beginSpin(ctx, waitDTx, grace-1) })
+			ctx.spinTarget = waitDTx
+			ctx.spinGrace = grace - 1
+			r.eng.After(recheck, ctx.contBeginSpin)
 		} else {
 			// Stale announcement (the transaction ended or never started):
 			// re-execute TX_BEGIN.
-			r.eng.After(recheck, func() { r.tryBegin(ctx) })
+			r.eng.After(recheck, ctx.contTryBegin)
 		}
 		return
 	}
@@ -502,29 +643,36 @@ func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
 }
 
 // scheduleBeginSpinCheck arranges the next preemption check while spinning
-// at begin: the earliest instant ShouldPreempt could become true.
+// at begin: the earliest instant ShouldPreempt could become true. The wait
+// generation rides in the event itself (AfterArg): a pending check can
+// coexist with newer control flow for the same thread, so it must compare
+// against the generation at schedule time, not whatever the ctx holds when
+// it fires.
 func (r *Runner) scheduleBeginSpinCheck(ctx *threadCtx, gen uint64) {
 	wait := ctx.th.dispatchedAt + r.mac.Costs.Quantum - r.eng.Now()
 	if wait < 1 {
 		wait = 1
 	}
-	r.eng.After(wait, func() {
-		if ctx.waitGen != gen || ctx.state != stBeginSpin {
-			return
-		}
-		r.chargeSpin(ctx, CatScheduling)
-		if r.mac.ShouldPreempt(ctx.th) {
-			// The OS timer preempts the spinner; on redispatch it
-			// re-executes TX_BEGIN.
-			ctx.state = stIdle
-			ctx.waitGen++
-			r.dropBeginWaiter(ctx)
-			ctx.resume = func() { r.tryBegin(ctx) }
-			r.mac.Preempt(ctx.th)
-			return
-		}
-		r.scheduleBeginSpinCheck(ctx, gen)
-	})
+	r.eng.AfterArg(wait, ctx.contSpinCheck, gen)
+}
+
+// beginSpinCheck is the preemption check while spinning at begin.
+func (r *Runner) beginSpinCheck(ctx *threadCtx, gen uint64) {
+	if ctx.waitGen != gen || ctx.state != stBeginSpin {
+		return
+	}
+	r.chargeSpin(ctx, CatScheduling)
+	if r.mac.ShouldPreempt(ctx.th) {
+		// The OS timer preempts the spinner; on redispatch it re-executes
+		// TX_BEGIN.
+		ctx.state = stIdle
+		ctx.waitGen++
+		r.dropBeginWaiter(ctx)
+		ctx.resume = ctx.contTryBegin
+		r.mac.Preempt(ctx.th)
+		return
+	}
+	r.scheduleBeginSpinCheck(ctx, gen)
 }
 
 func (r *Runner) dropBeginWaiter(ctx *threadCtx) {
@@ -580,27 +728,30 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 	d := ctx.gap + r.cfg.TMCosts.Access
 	ctx.th.Charge(CatTx, d)
 	ctx.txCycles += d
-	r.eng.After(d, func() {
-		if ctx.tx.Doomed {
-			r.abortTx(ctx)
+	r.eng.After(d, ctx.contAccess)
+}
+
+// performAccess issues the access once its latency has been charged.
+func (r *Runner) performAccess(ctx *threadCtx) {
+	if ctx.tx.Doomed {
+		r.abortTx(ctx)
+		return
+	}
+	acc := ctx.desc.Accesses[ctx.accIdx]
+	res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
+	switch {
+	case res.OK:
+		ctx.accIdx++
+		ctx.resume = ctx.contStepAccess
+		if r.maybePreempt(ctx) {
 			return
 		}
-		acc := ctx.desc.Accesses[ctx.accIdx]
-		res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
-		switch {
-		case res.OK:
-			ctx.accIdx++
-			ctx.resume = func() { r.stepAccess(ctx) }
-			if r.maybePreempt(ctx) {
-				return
-			}
-			r.stepAccess(ctx)
-		case res.Holder != nil:
-			r.lineStall(ctx, res.Holder)
-		default: // doomed by deadlock resolution
-			r.abortTx(ctx)
-		}
-	})
+		r.stepAccess(ctx)
+	case res.Holder != nil:
+		r.lineStall(ctx, res.Holder)
+	default: // doomed by deadlock resolution
+		r.abortTx(ctx)
+	}
 }
 
 // lineStall handles a NACK: spin on the line until the holder releases or
@@ -630,22 +781,27 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 			budget = 1
 		}
 	}
-	r.eng.After(budget, func() {
-		if ctx.waitGen != gen || ctx.state != stLineStall {
-			return
-		}
-		// Timed out: give up and abort (LogTM's conservative discipline).
-		r.chargeSpin(ctx, CatTx)
-		ctx.state = stIdle
-		ctx.waitGen++
-		r.dropStallWaiter(ctx)
-		// Attribute the conflict to the holder we stalled behind.
-		if ctx.tx != nil && !ctx.tx.Doomed {
-			ctx.tx.DoomedByTid = holder.Thread
-			ctx.tx.DoomedByStx = holder.STx
-		}
-		r.abortTx(ctx)
-	})
+	r.eng.AfterArg(budget, ctx.contStallTimeout, gen)
+}
+
+// stallTimeout fires when a NACKed spin exhausts its budget; the generation
+// snapshot guards against the wake path having already resolved the stall.
+func (r *Runner) stallTimeout(ctx *threadCtx, gen uint64) {
+	if ctx.waitGen != gen || ctx.state != stLineStall {
+		return
+	}
+	holder := ctx.holder
+	// Timed out: give up and abort (LogTM's conservative discipline).
+	r.chargeSpin(ctx, CatTx)
+	ctx.state = stIdle
+	ctx.waitGen++
+	r.dropStallWaiter(ctx)
+	// Attribute the conflict to the holder we stalled behind.
+	if ctx.tx != nil && !ctx.tx.Doomed {
+		ctx.tx.DoomedByTid = holder.Thread
+		ctx.tx.DoomedByStx = holder.STx
+	}
+	r.abortTx(ctx)
 }
 
 func (r *Runner) dropStallWaiter(ctx *threadCtx) {
@@ -669,8 +825,7 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.holder = nil
-		c := ctx
-		r.eng.After(1, func() { r.stepAccess(c) }) // retry the same access
+		r.eng.After(1, ctx.contStepAccess) // retry the same access
 	}
 	delete(r.stallWaiters, tx)
 
@@ -682,8 +837,7 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.waitDTx = core.NoTx
-		c := ctx
-		r.eng.After(1, func() { r.tryBegin(c) })
+		r.eng.After(1, ctx.contTryBegin)
 	}
 	delete(r.beginWaiters, tx.DTx)
 }
@@ -702,8 +856,7 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 	ctx.waitGen++
 	r.dropStallWaiter(ctx)
 	ctx.holder = nil
-	c := ctx
-	r.eng.After(1, func() { r.abortTx(c) })
+	r.eng.After(1, ctx.contAbort)
 }
 
 // commitTx finishes the transaction: hardware commit, manager bookkeeping,
@@ -711,45 +864,52 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 func (r *Runner) commitTx(ctx *threadCtx) {
 	ctx.th.Charge(CatTx, r.cfg.TMCosts.Commit)
 	ctx.txCycles += r.cfg.TMCosts.Commit
-	r.eng.After(r.cfg.TMCosts.Commit, func() {
-		tx := ctx.tx
-		size := tx.NumLines()
-		if r.cfg.ProfileSimilarity {
-			r.profileCommit(ctx, tx, size)
-		}
-		r.classifyPredWaits(ctx, tx)
-		r.sys.Commit(tx)
-		r.commitsPerStx[ctx.desc.STx]++
-		r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
-		r.attempts.Add(float64(ctx.attempts))
-		r.emit(ctx, trace.KCommit, -1, -1, r.eng.Now()-ctx.execStart)
-		ctx.tx = nil
-		r.setSlot(r.cpuOf(ctx), core.NoTx)
-		r.onTxReleased(tx)
-
-		overhead := r.mgr.OnCommit(ctx.tid, ctx.desc.STx, tx.Lines, tx.WriteLines, size)
-		r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, true)
-		if ctx.desc.OnCommit != nil {
-			ctx.desc.OnCommit()
-		}
-		if overhead > 0 {
-			ctx.th.Charge(CatScheduling, overhead)
-		}
-		r.eng.After(overhead, func() {
-			ctx.resume = func() { r.fetchNext(ctx) }
-			if r.maybePreempt(ctx) {
-				return
-			}
-			r.fetchNext(ctx)
-		})
-	})
+	r.eng.After(r.cfg.TMCosts.Commit, ctx.contCommit)
 }
 
-// profileCommit records exact Eq. 1 similarity for Table 1.
-func (r *Runner) profileCommit(ctx *threadCtx, tx *tm.Tx, size int) {
+// finishCommit runs once the hardware commit latency has elapsed. The
+// transaction's line sets are walked into the ctx scratch buffers once and
+// shared by the similarity profiler and the manager's OnCommit, so the
+// commit path performs no per-commit allocation.
+func (r *Runner) finishCommit(ctx *threadCtx) {
+	tx := ctx.tx
+	size := tx.NumLines()
+	ctx.linesBuf = tx.AppendLines(ctx.linesBuf[:0])
+	ctx.writesBuf = tx.AppendWriteLines(ctx.writesBuf[:0])
+	if r.cfg.ProfileSimilarity {
+		r.profileCommit(ctx, size)
+	}
+	r.classifyPredWaits(ctx, tx)
+	r.sys.Commit(tx)
+	r.commitsPerStx[ctx.desc.STx]++
+	r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
+	r.attempts.Add(float64(ctx.attempts))
+	r.emit(ctx, trace.KCommit, -1, -1, r.eng.Now()-ctx.execStart)
+	ctx.tx = nil
+	r.setSlot(r.cpuOf(ctx), core.NoTx)
+	r.onTxReleased(tx)
+
+	overhead := r.mgr.OnCommit(ctx.tid, ctx.desc.STx, ctx.linesBuf, ctx.writesBuf, size)
+	r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, true)
+	if ctx.desc.OnCommit != nil {
+		ctx.desc.OnCommit()
+	}
+	if overhead > 0 {
+		ctx.th.Charge(CatScheduling, overhead)
+	}
+	r.eng.After(overhead, ctx.contPostCommit)
+}
+
+// profileCommit records exact Eq. 1 similarity for Table 1, reading the
+// committing transaction's lines from ctx.linesBuf (filled by finishCommit)
+// and recycling displaced exact sets and the Eq. 3 scratch filters so
+// profiling allocates nothing in steady state.
+func (r *Runner) profileCommit(ctx *threadCtx, size int) {
 	stx := ctx.desc.STx
-	set := bloom.NewExactSet()
-	tx.Lines(set.Add)
+	set := ctx.getExactSet()
+	for _, a := range ctx.linesBuf {
+		set.Add(a)
+	}
 	ctx.sizeSum[stx] += float64(size)
 	ctx.sizeCnt[stx]++
 	if prev := ctx.prevSet[stx]; prev != nil {
@@ -763,10 +923,15 @@ func (r *Runner) profileCommit(ctx *threadCtx, tx *tm.Tx, size int) {
 			r.simCnt[stx]++
 		}
 		if r.metEstErr != nil {
-			// Paper filter geometry (2048 bits, 4 hashes), matching the
-			// hardware signatures the estimator runs over.
-			r.metEstErr.Observe(bloom.EstimateIntersectionError(set, prev, 2048, bloom.DefaultHashes))
+			if ctx.estFA == nil {
+				// Paper filter geometry (2048 bits, 4 hashes), matching the
+				// hardware signatures the estimator runs over.
+				ctx.estFA = bloom.NewFilter(2048, bloom.DefaultHashes)
+				ctx.estFB = bloom.NewFilter(2048, bloom.DefaultHashes)
+			}
+			r.metEstErr.Observe(bloom.EstimateIntersectionErrorInto(set, prev, ctx.estFA, ctx.estFB))
 		}
+		ctx.putExactSet(prev)
 	}
 	ctx.prevSet[stx] = set
 }
@@ -784,51 +949,49 @@ func (r *Runner) abortTx(ctx *threadCtx) {
 	r.emit(ctx, trace.KAbort, tx.DoomedByTid*r.cfg.Workload.NumStatic()+tx.DoomedByStx, tx.DoomedByStx, 0)
 	rollback := r.cfg.TMCosts.RollbackBase + r.cfg.TMCosts.RollbackPerLine*int64(tx.NumWrites())
 	ctx.th.Charge(CatAbort, rollback)
-	r.eng.After(rollback, func() {
-		r.sys.Abort(tx)
-		ctx.tx = nil
-		r.setSlot(r.cpuOf(ctx), core.NoTx)
-		r.onTxReleased(tx)
-
-		ab := r.mgr.OnAbort(ctx.tid, ctx.desc.STx, tx.DoomedByTid, tx.DoomedByStx, ctx.attempts)
-		r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
-		ctx.th.Charge(CatScheduling, ab.Overhead)
-		ctx.th.Charge(CatAbort, ab.Backoff)
-		r.eng.After(ab.Overhead+ab.Backoff, func() {
-			ctx.resume = func() { r.tryBegin(ctx) }
-			if r.maybePreempt(ctx) {
-				return
-			}
-			r.tryBegin(ctx)
-		})
-	})
+	r.eng.After(rollback, ctx.contRollback)
 }
 
-// scheduleSample arranges the next time-series sample. Sampling only reads
-// manager and TM state, so it cannot perturb the simulated schedule: a run
-// with metrics enabled takes the same cycle-level path as one without.
-func (r *Runner) scheduleSample(interval int64) {
-	r.eng.After(interval, func() {
-		if r.mac.LiveThreads() == 0 {
-			return
-		}
-		now := r.eng.Now()
-		if pr, ok := r.mgr.(sched.PressureReporter); ok {
-			r.tsPressure.Append(now, pr.MeanPressure())
-		}
-		if cr, ok := r.mgr.(sched.ConfidenceReporter); ok {
-			r.tsConf.Append(now, cr.MeanConfidence())
-		}
-		c, a := r.sys.Commits(), r.sys.Aborts()
-		dc, da := c-r.lastCommits, a-r.lastAborts
-		r.lastCommits, r.lastAborts = c, a
-		if dc+da > 0 {
-			const alpha = 0.3 // EWMA weight of the newest window
-			r.abortEwma = alpha*float64(da)/float64(dc+da) + (1-alpha)*r.abortEwma
-		}
-		r.tsAbortRate.Append(now, r.abortEwma)
-		r.scheduleSample(interval)
-	})
+// finishAbort runs once the undo-log walk has been charged: release
+// isolation, consult the manager, and back off before retrying the begin.
+func (r *Runner) finishAbort(ctx *threadCtx) {
+	tx := ctx.tx
+	r.sys.Abort(tx)
+	ctx.tx = nil
+	r.setSlot(r.cpuOf(ctx), core.NoTx)
+	r.onTxReleased(tx)
+
+	ab := r.mgr.OnAbort(ctx.tid, ctx.desc.STx, tx.DoomedByTid, tx.DoomedByStx, ctx.attempts)
+	r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
+	ctx.th.Charge(CatScheduling, ab.Overhead)
+	ctx.th.Charge(CatAbort, ab.Backoff)
+	r.eng.After(ab.Overhead+ab.Backoff, ctx.contPostAbort)
+}
+
+// sample records one time-series point and reschedules itself via the
+// cached r.sampleFn closure. Sampling only reads manager and TM state, so
+// it cannot perturb the simulated schedule: a run with metrics enabled
+// takes the same cycle-level path as one without.
+func (r *Runner) sample() {
+	if r.mac.LiveThreads() == 0 {
+		return
+	}
+	now := r.eng.Now()
+	if pr, ok := r.mgr.(sched.PressureReporter); ok {
+		r.tsPressure.Append(now, pr.MeanPressure())
+	}
+	if cr, ok := r.mgr.(sched.ConfidenceReporter); ok {
+		r.tsConf.Append(now, cr.MeanConfidence())
+	}
+	c, a := r.sys.Commits(), r.sys.Aborts()
+	dc, da := c-r.lastCommits, a-r.lastAborts
+	r.lastCommits, r.lastAborts = c, a
+	if dc+da > 0 {
+		const alpha = 0.3 // EWMA weight of the newest window
+		r.abortEwma = alpha*float64(da)/float64(dc+da) + (1-alpha)*r.abortEwma
+	}
+	r.tsAbortRate.Append(now, r.abortEwma)
+	r.eng.After(r.sampleEvery, r.sampleFn)
 }
 
 // Run executes the simulation to completion and returns its measurements.
@@ -838,7 +1001,9 @@ func (r *Runner) Run() *Result {
 		if interval <= 0 {
 			interval = DefaultSampleInterval
 		}
-		r.scheduleSample(interval)
+		r.sampleEvery = interval
+		r.sampleFn = func() { r.sample() }
+		r.eng.After(interval, r.sampleFn)
 	}
 	r.mac.Start()
 	r.eng.Run(func() bool {
@@ -882,6 +1047,14 @@ func (r *Runner) Run() *Result {
 			r.metPrecision.Set(float64(r.predTrue) / float64(classified))
 		}
 		res.Metrics = r.cfg.Metrics.Snapshot()
+	}
+	// The run is over: hand each thread's scratch back to the pool so the
+	// next Runner (possibly on another goroutine) can reuse the buffers.
+	for _, ctx := range r.ctxs {
+		if ctx.ctxScratch != nil {
+			ctx.ctxScratch.release()
+			ctx.ctxScratch = nil
+		}
 	}
 	return res
 }

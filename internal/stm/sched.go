@@ -132,18 +132,20 @@ func (s *System) onCommit(tx *Tx) {
 		s.bumpPressure(tx.stx, false)
 	case SchedBFGTS:
 		s.mu.Lock()
-		s.rt.CommitTx(tx.dtx, func(emit func(uint64)) {
-			for v := range tx.reads {
-				emit(tvarKey(v))
-			}
-			for v := range tx.writes {
-				emit(tvarKey(v))
-			}
-		}, func(emit func(uint64)) {
-			for v := range tx.writes {
-				emit(tvarKey(v))
-			}
-		}, tx.footprint())
+		// The lines slice may contain duplicates (a TVar both read and
+		// written appears twice); CommitTx signatures tolerate that, and
+		// footprint() supplies the distinct count.
+		lines, writes := s.lineBuf[:0], s.writeBuf[:0]
+		for v := range tx.reads {
+			lines = append(lines, tvarKey(v))
+		}
+		for v := range tx.writes {
+			k := tvarKey(v)
+			lines = append(lines, k)
+			writes = append(writes, k)
+		}
+		s.rt.CommitTx(tx.dtx, lines, writes, tx.footprint())
+		s.lineBuf, s.writeBuf = lines, writes
 		s.mu.Unlock()
 	}
 }

@@ -73,9 +73,12 @@ type System struct {
 	running []atomic.Int64
 
 	// mu guards rt (the BFGTS runtime is single-threaded by design — in
-	// hardware it is per-CPU registers and snooped tables).
-	mu sync.Mutex
-	rt *core.Runtime
+	// hardware it is per-CPU registers and snooped tables) and the commit
+	// scratch buffers below.
+	mu       sync.Mutex
+	rt       *core.Runtime
+	lineBuf  []uint64 // scratch: read/write-set lines for CommitTx
+	writeBuf []uint64 // scratch: written lines for CommitTx
 
 	pressure []atomic.Int64 // fixed-point ATS conflict pressure per stx
 

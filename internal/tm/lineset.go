@@ -1,0 +1,213 @@
+package tm
+
+// lineSet is an open-addressing hash set of cache-line addresses tuned for
+// transaction read/write sets. The common case — a transaction touching at
+// most lineSetInline distinct lines — lives in a small inline array scanned
+// linearly, which costs no heap allocation at all. Larger sets spill into a
+// power-of-two probe table with linear probing. reset keeps the spilled
+// table's capacity, so a pooled transaction that once grew a big set never
+// allocates for it again.
+//
+// The zero value is an empty set.
+type lineSet struct {
+	n       int                   // total elements, including the zero key
+	small   [lineSetInline]uint64 // insertion-ordered storage while table == nil
+	table   []uint64              // open-addressing slots; 0 marks an empty slot
+	hasZero bool                  // address 0 is tracked out of band (0 is the empty sentinel)
+}
+
+// lineSetInline is the inline capacity before spilling to the probe table.
+// Read/write sets in the STAMP-like workloads are almost always under this.
+const lineSetInline = 16
+
+// lineHash is a Fibonacci-style mixer; the probe table masks its output.
+func lineHash(addr uint64) uint64 {
+	h := addr * 0x9e3779b97f4a7c15
+	return h ^ h>>32
+}
+
+// len returns the number of distinct addresses in the set.
+func (s *lineSet) len() int { return s.n }
+
+// add inserts addr and reports whether it was not already present.
+func (s *lineSet) add(addr uint64) bool {
+	if s.table == nil {
+		for i := 0; i < s.n; i++ {
+			if s.small[i] == addr {
+				return false
+			}
+		}
+		if s.n < lineSetInline {
+			s.small[s.n] = addr
+			s.n++
+			return true
+		}
+		s.spill()
+	}
+	if addr == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		s.n++
+		return true
+	}
+	stored := s.n
+	if s.hasZero {
+		stored--
+	}
+	if 4*(stored+1) > 3*len(s.table) {
+		s.grow(2 * len(s.table))
+	}
+	mask := uint64(len(s.table) - 1)
+	i := lineHash(addr) & mask
+	for {
+		switch s.table[i] {
+		case 0:
+			s.table[i] = addr
+			s.n++
+			return true
+		case addr:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// has reports whether addr is in the set.
+func (s *lineSet) has(addr uint64) bool {
+	if s.table == nil {
+		for i := 0; i < s.n; i++ {
+			if s.small[i] == addr {
+				return true
+			}
+		}
+		return false
+	}
+	if addr == 0 {
+		return s.hasZero
+	}
+	mask := uint64(len(s.table) - 1)
+	i := lineHash(addr) & mask
+	for {
+		switch s.table[i] {
+		case 0:
+			return false
+		case addr:
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// spill moves the inline elements into a fresh probe table sized for
+// low-load probing right after the crossover.
+func (s *lineSet) spill() {
+	if s.table == nil {
+		s.table = make([]uint64, 4*lineSetInline)
+	}
+	for i := 0; i < s.n; i++ {
+		v := s.small[i]
+		if v == 0 {
+			s.hasZero = true
+			continue
+		}
+		s.insertNoCheck(v)
+	}
+}
+
+// grow rehashes the table into newCap slots (a power of two).
+func (s *lineSet) grow(newCap int) {
+	old := s.table
+	s.table = make([]uint64, newCap)
+	for _, v := range old {
+		if v != 0 {
+			s.insertNoCheck(v)
+		}
+	}
+}
+
+// insertNoCheck places a known-absent non-zero address.
+func (s *lineSet) insertNoCheck(addr uint64) {
+	mask := uint64(len(s.table) - 1)
+	i := lineHash(addr) & mask
+	for s.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.table[i] = addr
+}
+
+// each calls fn for every address in the set. Inline sets iterate in
+// insertion order, spilled sets in slot order; callers must not depend on
+// the order (the previous map-backed implementation already randomized it).
+func (s *lineSet) each(fn func(addr uint64)) {
+	if s.table == nil {
+		for i := 0; i < s.n; i++ {
+			fn(s.small[i])
+		}
+		return
+	}
+	if s.hasZero {
+		fn(0)
+	}
+	for _, v := range s.table {
+		if v != 0 {
+			fn(v)
+		}
+	}
+}
+
+// appendTo appends every address to buf and returns it, allocating only if
+// buf lacks capacity.
+func (s *lineSet) appendTo(buf []uint64) []uint64 {
+	if s.table == nil {
+		return append(buf, s.small[:s.n]...)
+	}
+	if s.hasZero {
+		buf = append(buf, 0)
+	}
+	for _, v := range s.table {
+		if v != 0 {
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
+// intersects reports whether the two sets share any address, probing the
+// larger set with the smaller one's elements.
+func (s *lineSet) intersects(o *lineSet) bool {
+	a, b := s, o
+	if a.n > b.n {
+		a, b = b, a
+	}
+	if a.n == 0 {
+		return false
+	}
+	if a.table == nil {
+		for i := 0; i < a.n; i++ {
+			if b.has(a.small[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	if a.hasZero && b.has(0) {
+		return true
+	}
+	for _, v := range a.table {
+		if v != 0 && b.has(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// reset empties the set, keeping any spilled table's capacity for reuse.
+func (s *lineSet) reset() {
+	s.n = 0
+	s.hasZero = false
+	if s.table != nil {
+		clear(s.table)
+	}
+}

@@ -1,0 +1,177 @@
+package tm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet mirrors a lineSet with the map the implementation replaced.
+type refSet map[uint64]struct{}
+
+// checkLineSet verifies s and ref agree on size, membership (both
+// directions), and enumeration.
+func checkLineSet(t *testing.T, s *lineSet, ref refSet) {
+	t.Helper()
+	if s.len() != len(ref) {
+		t.Fatalf("len = %d, want %d", s.len(), len(ref))
+	}
+	for addr := range ref {
+		if !s.has(addr) {
+			t.Fatalf("missing %#x", addr)
+		}
+	}
+	got := s.appendTo(nil)
+	if len(got) != len(ref) {
+		t.Fatalf("appendTo returned %d addrs, want %d", len(got), len(ref))
+	}
+	for _, addr := range got {
+		if _, ok := ref[addr]; !ok {
+			t.Fatalf("appendTo returned %#x not in reference", addr)
+		}
+	}
+	seen := 0
+	s.each(func(addr uint64) {
+		if _, ok := ref[addr]; !ok {
+			t.Fatalf("each yielded %#x not in reference", addr)
+		}
+		seen++
+	})
+	if seen != len(ref) {
+		t.Fatalf("each yielded %d addrs, want %d", seen, len(ref))
+	}
+}
+
+// TestLineSetDifferential drives random operation sequences through a
+// lineSet and the map it replaced, checking they stay identical. The
+// universe is kept small so sequences hit duplicates, address zero (the
+// probe table's empty sentinel), the inline→table spill at lineSetInline+1
+// elements, table growth, and reset/reuse of spilled capacity.
+func TestLineSetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		var s lineSet
+		ref := refSet{}
+		// Vary the op count so trials end inline, just past the spill
+		// boundary, and deep into table-growth territory.
+		ops := 1 + rng.Intn(3*lineSetInline*(trial%5+1))
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(16) {
+			case 0: // reset and keep going: spilled capacity must still work
+				s.reset()
+				ref = refSet{}
+			default:
+				addr := uint64(rng.Intn(4 * lineSetInline)) // dense, includes 0
+				if rng.Intn(8) == 0 {
+					addr = rng.Uint64() // occasional sparse address
+				}
+				_, dup := ref[addr]
+				ref[addr] = struct{}{}
+				if fresh := s.add(addr); fresh == dup {
+					t.Fatalf("trial %d: add(%#x) fresh=%v, want %v", trial, addr, fresh, !dup)
+				}
+			}
+			probe := uint64(rng.Intn(4 * lineSetInline))
+			_, want := ref[probe]
+			if got := s.has(probe); got != want {
+				t.Fatalf("trial %d: has(%#x) = %v, want %v", trial, probe, got, want)
+			}
+		}
+		checkLineSet(t, &s, ref)
+	}
+}
+
+// TestLineSetIntersectsDifferential checks intersects (which probes the
+// larger set with the smaller) against the brute-force answer, across
+// inline/spilled size combinations.
+func TestLineSetIntersectsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		var a, b lineSet
+		refA, refB := refSet{}, refSet{}
+		na, nb := rng.Intn(3*lineSetInline), rng.Intn(3*lineSetInline)
+		for i := 0; i < na; i++ {
+			addr := uint64(rng.Intn(6 * lineSetInline))
+			a.add(addr)
+			refA[addr] = struct{}{}
+		}
+		for i := 0; i < nb; i++ {
+			addr := uint64(rng.Intn(6 * lineSetInline))
+			b.add(addr)
+			refB[addr] = struct{}{}
+		}
+		want := false
+		for addr := range refA {
+			if _, ok := refB[addr]; ok {
+				want = true
+				break
+			}
+		}
+		if got := a.intersects(&b); got != want {
+			t.Fatalf("trial %d: intersects = %v, want %v (|a|=%d |b|=%d)", trial, got, want, na, nb)
+		}
+		if got := b.intersects(&a); got != want {
+			t.Fatalf("trial %d: intersects not symmetric", trial)
+		}
+	}
+}
+
+// TestLineSetAppendToReusesCapacity pins the allocation contract of the
+// enumeration used on the commit path: appending into a buffer with enough
+// capacity never allocates.
+func TestLineSetAppendToReusesCapacity(t *testing.T) {
+	var s lineSet
+	for i := 0; i < 2*lineSetInline; i++ {
+		s.add(uint64(i)) // includes 0; spilled
+	}
+	buf := make([]uint64, 0, 2*lineSetInline)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.appendTo(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("appendTo into pre-sized buffer: %v allocs/op, want 0", allocs)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	for i, addr := range buf {
+		if addr != uint64(i) {
+			t.Fatalf("buf[%d] = %d, want %d", i, addr, i)
+		}
+	}
+}
+
+// lifecycle runs one begin→access→commit round: the simulator's hot path.
+func lifecycle(s *System, span int) {
+	tx := s.Begin(0, 0, 0)
+	for j := 0; j < span; j++ {
+		s.Access(tx, uint64(64*(j+1)), j < span/2)
+	}
+	s.Commit(tx)
+}
+
+// TestTxLifecycleAllocFree proves the pooled-transaction commit path stays
+// off the allocator in steady state, for both inline and spilled set sizes.
+// One warm-up round populates the free lists and grows the line directory;
+// every round after that must allocate nothing.
+func TestTxLifecycleAllocFree(t *testing.T) {
+	for _, span := range []int{8, 2 * lineSetInline} {
+		s := NewSystem(1)
+		lifecycle(s, span) // warm the Tx/line free lists and set capacity
+		allocs := testing.AllocsPerRun(200, func() { lifecycle(s, span) })
+		if allocs != 0 {
+			t.Fatalf("span %d: tx lifecycle costs %v allocs/op, want 0", span, allocs)
+		}
+	}
+}
+
+// BenchmarkTxLifecycle measures the steady-state begin→access→commit round
+// trip (8 lines, half written). Pairs with TestTxLifecycleAllocFree: the
+// interesting numbers are ns/op and the 0 allocs/op.
+func BenchmarkTxLifecycle(b *testing.B) {
+	s := NewSystem(1)
+	lifecycle(s, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lifecycle(s, 8)
+	}
+}

@@ -13,6 +13,14 @@
 //
 // The package is pure bookkeeping: it owns no notion of time. The runner
 // (internal/sim) drives it and charges cycles for stalls and rollbacks.
+//
+// The hot-path structures are recycled rather than reallocated: finished Tx
+// objects (with their open-addressing line sets) and line-directory entries
+// go back to per-System free lists, so a steady-state simulation does not
+// touch the allocator per transaction attempt. Line sets survive release
+// unchanged; callers that keep a *Tx past its release (the prediction-
+// quality classifier) must Pin it so the storage is not recycled under
+// them.
 package tm
 
 import "fmt"
@@ -33,58 +41,70 @@ type Tx struct {
 	DoomedByTid int // thread of the transaction it conflicted with
 	DoomedByStx int
 
-	reads  map[uint64]struct{}
-	writes map[uint64]struct{}
+	reads  lineSet
+	writes lineSet
+	// union counts the distinct lines across reads and writes, maintained
+	// incrementally so NumLines is O(1).
+	union int
 
 	waitFor *Tx // the transaction this one is stalled behind, if any
+
+	// pins counts Pin holders; released marks the transaction as finished.
+	// A released transaction is recycled once its last pin drops.
+	pins     int
+	released bool
 }
 
 // NumWrites returns the number of distinct lines written (rollback cost is
 // proportional to this, per LogTM's undo-log walk).
-func (t *Tx) NumWrites() int { return len(t.writes) }
+func (t *Tx) NumWrites() int { return t.writes.len() }
 
 // NumLines returns the read/write-set size in distinct cache lines.
-func (t *Tx) NumLines() int {
-	n := len(t.writes)
-	for a := range t.reads {
-		if _, w := t.writes[a]; !w {
-			n++
-		}
-	}
-	return n
-}
+func (t *Tx) NumLines() int { return t.union }
 
 // ConflictsWith reports whether the two transactions' line sets overlap
 // with a write on at least one side — the ground truth for "would these
 // two have conflicted had they run concurrently". Line sets survive
-// release, so this can be evaluated after either side has finished.
+// release, so this can be evaluated after either side has finished (Pin the
+// other side if the evaluation happens after the current engine event).
+// Each pairwise check probes the larger set with the smaller one.
 func (t *Tx) ConflictsWith(o *Tx) bool {
-	for a := range t.writes {
-		if _, ok := o.writes[a]; ok {
-			return true
-		}
-		if _, ok := o.reads[a]; ok {
-			return true
-		}
-	}
-	for a := range o.writes {
-		if _, ok := t.reads[a]; ok {
-			return true
-		}
-	}
-	return false
+	return t.writes.intersects(&o.writes) ||
+		t.writes.intersects(&o.reads) ||
+		o.writes.intersects(&t.reads)
 }
 
 // Lines calls fn for every distinct line in the read/write set.
 func (t *Tx) Lines(fn func(addr uint64)) {
-	for a := range t.writes {
-		fn(a)
-	}
-	for a := range t.reads {
-		if _, w := t.writes[a]; !w {
+	t.writes.each(fn)
+	t.reads.each(func(a uint64) {
+		if !t.writes.has(a) {
 			fn(a)
 		}
-	}
+	})
+}
+
+// AppendLines appends every distinct line of the read/write set to buf and
+// returns it — the allocation-free form of Lines for callers that keep a
+// scratch buffer.
+func (t *Tx) AppendLines(buf []uint64) []uint64 {
+	buf = t.writes.appendTo(buf)
+	t.reads.each(func(a uint64) {
+		if !t.writes.has(a) {
+			buf = append(buf, a)
+		}
+	})
+	return buf
+}
+
+// WriteLines calls fn for every distinct line in the write set.
+func (t *Tx) WriteLines(fn func(addr uint64)) {
+	t.writes.each(fn)
+}
+
+// AppendWriteLines appends every written line to buf and returns it.
+func (t *Tx) AppendWriteLines(buf []uint64) []uint64 {
+	return t.writes.appendTo(buf)
 }
 
 // AccessResult reports the outcome of a transactional memory access.
@@ -118,6 +138,11 @@ type System struct {
 	conflicts [][]int64 // conflict counts between static IDs (Table 1)
 
 	commits, aborts int64
+
+	// Free lists: finished transactions and drained directory entries are
+	// recycled instead of reallocated.
+	txFree   []*Tx
+	lineFree []*line
 }
 
 // NewSystem creates a TM system for a program with nStatic static
@@ -136,22 +161,45 @@ func NewSystem(nStatic int) *System {
 }
 
 // Begin starts a transaction for the given thread and static ID. A thread
-// may only have one active transaction at a time.
+// may only have one active transaction at a time. The returned Tx may be a
+// recycled object from an earlier attempt; pointers to it are only stable
+// until its release unless pinned.
 func (s *System) Begin(thread, stx, dtx int) *Tx {
 	if _, dup := s.active[dtx]; dup {
 		panic(fmt.Sprintf("tm: dtx %d already active", dtx))
 	}
 	s.seq++
-	tx := &Tx{
-		DTx:    dtx,
-		STx:    stx,
-		Thread: thread,
-		Seq:    s.seq,
-		reads:  make(map[uint64]struct{}),
-		writes: make(map[uint64]struct{}),
+	var tx *Tx
+	if n := len(s.txFree); n > 0 {
+		tx = s.txFree[n-1]
+		s.txFree[n-1] = nil
+		s.txFree = s.txFree[:n-1]
+		tx.reads.reset()
+		tx.writes.reset()
+		*tx = Tx{reads: tx.reads, writes: tx.writes}
+	} else {
+		tx = &Tx{}
 	}
+	tx.DTx = dtx
+	tx.STx = stx
+	tx.Thread = thread
+	tx.Seq = s.seq
 	s.active[dtx] = tx
 	return tx
+}
+
+// Pin prevents tx's storage from being recycled after its release, so its
+// line sets stay readable across later engine events. Every Pin must be
+// balanced by exactly one Unpin.
+func (s *System) Pin(tx *Tx) { tx.pins++ }
+
+// Unpin drops one pin; the last Unpin of a released transaction returns its
+// storage to the free list.
+func (s *System) Unpin(tx *Tx) {
+	tx.pins--
+	if tx.pins == 0 && tx.released {
+		s.txFree = append(s.txFree, tx)
+	}
 }
 
 // Active reports whether the dynamic transaction is currently executing.
@@ -182,7 +230,13 @@ func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
 
 	ln := s.lines[addr]
 	if ln == nil {
-		ln = &line{}
+		if n := len(s.lineFree); n > 0 {
+			ln = s.lineFree[n-1]
+			s.lineFree[n-1] = nil
+			s.lineFree = s.lineFree[:n-1]
+		} else {
+			ln = &line{}
+		}
 		s.lines[addr] = ln
 	}
 
@@ -196,12 +250,16 @@ func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
 			}
 		}
 		ln.writer = tx
-		tx.writes[addr] = struct{}{}
+		if tx.writes.add(addr) && !tx.reads.has(addr) {
+			tx.union++
+		}
 		return AccessResult{OK: true}
 	}
 	// Read: writer is nil or self.
-	if _, already := tx.reads[addr]; !already {
-		tx.reads[addr] = struct{}{}
+	if tx.reads.add(addr) {
+		if !tx.writes.has(addr) {
+			tx.union++
+		}
 		found := false
 		for _, r := range ln.readers {
 			if r == tx {
@@ -282,37 +340,47 @@ func (s *System) Abort(tx *Tx) {
 }
 
 func (s *System) release(tx *Tx) {
-	for addr := range tx.writes {
+	tx.writes.each(func(addr uint64) {
 		if ln := s.lines[addr]; ln != nil && ln.writer == tx {
 			ln.writer = nil
 			if len(ln.readers) == 0 {
-				delete(s.lines, addr)
+				s.retireLine(addr, ln)
 			}
 		}
-	}
-	for addr := range tx.reads {
+	})
+	tx.reads.each(func(addr uint64) {
 		ln := s.lines[addr]
 		if ln == nil {
-			continue
+			return
 		}
 		for i, r := range ln.readers {
 			if r == tx {
 				ln.readers[i] = ln.readers[len(ln.readers)-1]
+				ln.readers[len(ln.readers)-1] = nil
 				ln.readers = ln.readers[:len(ln.readers)-1]
 				break
 			}
 		}
 		if ln.writer == nil && len(ln.readers) == 0 {
-			delete(s.lines, addr)
+			s.retireLine(addr, ln)
 		}
-	}
+	})
 	tx.waitFor = nil
 	delete(s.active, tx.DTx)
+	// The line sets stay intact for same-event readers (the commit
+	// bookkeeping and the conflict classifier); the object is only handed
+	// out again by a later Begin, and never while pinned.
+	tx.released = true
+	if tx.pins == 0 {
+		s.txFree = append(s.txFree, tx)
+	}
 }
 
-// WriteLines calls fn for every distinct line in the write set.
-func (t *Tx) WriteLines(fn func(addr uint64)) {
-	for a := range t.writes {
-		fn(a)
-	}
+// retireLine removes a drained directory entry and recycles it, keeping the
+// readers slice's capacity.
+func (s *System) retireLine(addr uint64, ln *line) {
+	delete(s.lines, addr)
+	ln.writer = nil
+	ln.readers = ln.readers[:0]
+	s.lineFree = append(s.lineFree, ln)
 }

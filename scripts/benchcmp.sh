@@ -1,0 +1,50 @@
+#!/bin/sh
+# Records the hot-path benchmark suite to a file, or compares two recorded
+# files side by side. Use it around a perf change:
+#
+#	./scripts/benchcmp.sh record /tmp/before.txt
+#	... apply the change ...
+#	./scripts/benchcmp.sh record /tmp/after.txt
+#	./scripts/benchcmp.sh diff /tmp/before.txt /tmp/after.txt
+#
+# The suite is the three microbenchmarks gated by the zero-alloc tests
+# (transaction lifecycle, event churn, Eq. 3 estimate) plus BenchmarkFig4a,
+# the end-to-end figure-regeneration run. The diff is a plain side-by-side
+# of matching benchmark lines — no external tooling (benchstat) required.
+set -eu
+cd "$(dirname "$0")/.."
+
+benches='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate|BenchmarkFig4a'
+
+usage() {
+	echo "usage: $0 record FILE | diff BEFORE AFTER" >&2
+	exit 2
+}
+
+[ $# -ge 1 ] || usage
+mode=$1
+shift
+case "$mode" in
+record)
+	[ $# -eq 1 ] || usage
+	out=$1
+	go test -run=NONE -bench="$benches" -benchtime=3x -count=1 \
+		./internal/tm/ ./internal/sim/ ./internal/bloom/ . |
+		grep -E '^(Benchmark|PASS|ok)' | tee "$out"
+	;;
+diff)
+	[ $# -eq 2 ] || usage
+	before=$1
+	after=$2
+	echo "--- before: $before"
+	echo "--- after:  $after"
+	for name in $(grep -oE '^Benchmark[A-Za-z0-9]+' "$before" | sort -u); do
+		echo "$name"
+		grep "^$name" "$before" | sed 's/^/  before /'
+		grep "^$name" "$after" | sed 's/^/  after  /' || echo "  after  (missing)"
+	done
+	;;
+*)
+	usage
+	;;
+esac

@@ -22,3 +22,8 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -json-out "$tmp" >/dev/null
 go run ./scripts/jsonverify "$tmp"
+# Bench smoke: compile and run each hot-path microbenchmark once. The
+# paired Test*AllocFree tests already gate the 0 allocs/op contract; this
+# catches benchmarks that rot until release time.
+go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate' \
+	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ >/dev/null
