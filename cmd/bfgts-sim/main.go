@@ -56,6 +56,7 @@ func main() {
 	jsonOut := flag.String("json-out", "", "experiment run: write all reports as schema-versioned JSON to this file")
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
+	noBatch := flag.Bool("no-batch", false, "disable horizon-batched execution (legacy per-access events; identical output, slower)")
 	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -96,7 +97,7 @@ func main() {
 		}()
 	}
 
-	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel}
+	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel, NoBatch: *noBatch}
 	if !*quiet {
 		var mu sync.Mutex
 		done := 0

@@ -33,6 +33,11 @@ type Config struct {
 	// experiments fan out (RunAll, MultiSeed, warm passes). 0 means
 	// runtime.NumCPU(); 1 serializes all compute.
 	Workers int
+	// NoBatch runs every simulation on the legacy one-event-per-access
+	// engine path instead of horizon-batched execution. Output is
+	// cycle-identical either way; the switch exists for differential
+	// testing and bisection.
+	NoBatch bool
 	// Progress, if non-nil, receives one line per simulation as it
 	// finishes (cache hits are silent). It may be called from multiple
 	// goroutines concurrently.
@@ -95,6 +100,7 @@ type runKey struct {
 	seed    uint64
 	scale   float64
 	profile bool
+	noBatch bool
 }
 
 // cacheEntry is one memoized simulation. The first caller of a runKey
@@ -164,6 +170,7 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 			MaxCycles:         100_000_000_000,
 			Trace:             rec,
 			Metrics:           reg,
+			NoBatch:           r.cfg.NoBatch,
 		}).Run()
 	})
 	res.ManagerName = m.Name
@@ -177,7 +184,7 @@ func (r *Runner) Baseline(f workload.Factory) *sim.Result {
 }
 
 func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profile bool) *sim.Result {
-	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile}
+	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile, r.cfg.NoBatch}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -198,6 +205,7 @@ func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profil
 			NewManager:        m.New,
 			ProfileSimilarity: profile,
 			MaxCycles:         100_000_000_000,
+			NoBatch:           r.cfg.NoBatch,
 		}).Run()
 		res.ManagerName = m.Name // keep the spec name (includes Bloom size)
 		e.res = res

@@ -12,12 +12,33 @@
 // single-threaded and event ties break on insertion order.
 package sim
 
+// Handle names a long-lived func() registered with an engine via
+// Register. Scheduling by handle keeps the event heap free of pointers,
+// so sift operations are plain memmoves with no GC write barriers — the
+// engine's push/pop was the hottest edge in the whole simulation profile
+// before handles, and most of that was barrier bookkeeping.
+type Handle int32
+
+// ArgHandle names a registered func(uint64) (see RegisterArg); the
+// argument rides in the event itself, snapshotted at schedule time.
+type ArgHandle int32
+
 // Engine is a discrete-event scheduler. Events fire in (time, insertion
 // sequence) order, which makes simulations deterministic.
 type Engine struct {
 	now    int64
 	seq    uint64
 	events eventHeap
+
+	// Handler tables. Registered handlers live for the engine's lifetime;
+	// one-shot funcs (the closure-based At/After/AfterArg API) occupy a
+	// recycled slot until they fire.
+	handlers       []func()
+	argHandlers    []func(uint64)
+	oneShot        []func()
+	oneShotFree    []int32
+	oneShotArg     []func(uint64)
+	oneShotArgFree []int32
 }
 
 // NewEngine returns an engine at time zero with no pending events.
@@ -31,14 +52,99 @@ func (e *Engine) Now() int64 { return e.now }
 // Pending returns the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.events.ev) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (before
-// Now) panics: it would silently reorder causality.
-func (e *Engine) At(t int64, fn func()) {
+// NoPending is the PeekTime sentinel when no events are scheduled: any
+// finite event time compares strictly below it.
+const NoPending = int64(1<<63 - 1)
+
+// PeekTime returns the time of the next pending event without firing it,
+// or NoPending when the heap is empty. This is the conservative-DES
+// lookahead horizon: between Now and PeekTime no event can fire, so an
+// actor may execute straight-line work locally and commit the elapsed
+// time with a single At call — as long as it stays strictly below the
+// horizon, the global event order is indistinguishable from having
+// scheduled every intermediate step. (Strictly: an event landing exactly
+// on the horizon gets a fresh sequence number and so fires after the
+// already-pending event, exactly as a newly scheduled event would have.)
+func (e *Engine) PeekTime() int64 {
+	if len(e.events.ev) == 0 {
+		return NoPending
+	}
+	return e.events.ev[0].time
+}
+
+// Register adds a long-lived handler and returns its Handle for AtHandle /
+// AfterHandle scheduling. Handlers are never freed; register once per
+// continuation, not per event.
+func (e *Engine) Register(fn func()) Handle {
+	e.handlers = append(e.handlers, fn)
+	return Handle(len(e.handlers) - 1)
+}
+
+// RegisterArg adds a long-lived argument-taking handler for
+// AfterArgHandle scheduling.
+func (e *Engine) RegisterArg(fn func(uint64)) ArgHandle {
+	e.argHandlers = append(e.argHandlers, fn)
+	return ArgHandle(len(e.argHandlers) - 1)
+}
+
+// Event kinds: which handler table the event's index points into.
+const (
+	evHandler    = uint8(iota) // handlers[h]()
+	evArgHandler               // argHandlers[h](arg)
+	evOneShot                  // oneShot[h](), slot recycled after firing
+	evOneShotArg               // oneShotArg[h](arg), slot recycled
+)
+
+// AtHandle schedules a registered handler to run at absolute time t.
+// Scheduling in the past (before Now) panics: it would silently reorder
+// causality.
+func (e *Engine) AtHandle(t int64, h Handle) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.events.push(event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, h: int32(h), kind: evHandler})
+}
+
+// AfterHandle schedules a registered handler d cycles from now.
+func (e *Engine) AfterHandle(d int64, h Handle) {
+	e.AtHandle(e.now+d, h)
+}
+
+// AtArgHandle schedules a registered argument-taking handler at absolute
+// time t, with arg snapshotted into the event.
+func (e *Engine) AtArgHandle(t int64, h ArgHandle, arg uint64) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.events.push(event{time: t, seq: e.seq, h: int32(h), arg: arg, kind: evArgHandler})
+}
+
+// AfterArgHandle schedules a registered argument-taking handler d cycles
+// from now.
+func (e *Engine) AfterArgHandle(d int64, h ArgHandle, arg uint64) {
+	e.AtArgHandle(e.now+d, h, arg)
+}
+
+// At schedules fn to run at absolute time t via a recycled one-shot slot.
+// Steady-state cost matches handle scheduling except for one pointer
+// store; hot paths should still prefer registered handles.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	var h int32
+	if n := len(e.oneShotFree); n > 0 {
+		h = e.oneShotFree[n-1]
+		e.oneShotFree = e.oneShotFree[:n-1]
+		e.oneShot[h] = fn
+	} else {
+		e.oneShot = append(e.oneShot, fn)
+		h = int32(len(e.oneShot) - 1)
+	}
+	e.seq++
+	e.events.push(event{time: t, seq: e.seq, h: h, kind: evOneShot})
 }
 
 // After schedules fn to run d cycles from now. Negative delays panic.
@@ -46,17 +152,25 @@ func (e *Engine) After(d int64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// AfterArg schedules fn(arg) to run d cycles from now. Carrying the
-// argument in the event lets callers reuse one long-lived closure for
-// events that must snapshot a value at schedule time (generation counters),
-// instead of allocating a fresh closure per event.
+// AfterArg schedules fn(arg) to run d cycles from now, carrying the
+// argument in the event so callers can reuse one long-lived closure for
+// events that must snapshot a value at schedule time.
 func (e *Engine) AfterArg(d int64, fn func(uint64), arg uint64) {
 	t := e.now + d
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
+	var h int32
+	if n := len(e.oneShotArgFree); n > 0 {
+		h = e.oneShotArgFree[n-1]
+		e.oneShotArgFree = e.oneShotArgFree[:n-1]
+		e.oneShotArg[h] = fn
+	} else {
+		e.oneShotArg = append(e.oneShotArg, fn)
+		h = int32(len(e.oneShotArg) - 1)
+	}
 	e.seq++
-	e.events.push(event{time: t, seq: e.seq, fnArg: fn, arg: arg})
+	e.events.push(event{time: t, seq: e.seq, h: h, arg: arg, kind: evOneShotArg})
 }
 
 // Step fires the next event, if any, advancing time to it. It reports
@@ -67,10 +181,21 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.events.pop()
 	e.now = ev.time
-	if ev.fnArg != nil {
-		ev.fnArg(ev.arg)
-	} else {
-		ev.fn()
+	switch ev.kind {
+	case evHandler:
+		e.handlers[ev.h]()
+	case evArgHandler:
+		e.argHandlers[ev.h](ev.arg)
+	case evOneShot:
+		fn := e.oneShot[ev.h]
+		e.oneShot[ev.h] = nil // don't pin the closure past its dispatch
+		e.oneShotFree = append(e.oneShotFree, ev.h)
+		fn()
+	default: // evOneShotArg
+		fn := e.oneShotArg[ev.h]
+		e.oneShotArg[ev.h] = nil
+		e.oneShotArgFree = append(e.oneShotArgFree, ev.h)
+		fn(ev.arg)
 	}
 	return true
 }
@@ -86,14 +211,15 @@ func (e *Engine) Run(done func() bool) {
 	}
 }
 
+// event is a pending occurrence. It holds no pointers — the handler is an
+// index into one of the engine's tables — so the heap's backing array is
+// never scanned by the GC and sift swaps compile to barrier-free copies.
 type event struct {
 	time int64
 	seq  uint64
-	fn   func()
-	// fnArg+arg is the argument-carrying form used by AfterArg; exactly one
-	// of fn and fnArg is set.
-	fnArg func(uint64)
-	arg   uint64
+	arg  uint64
+	h    int32
+	kind uint8
 }
 
 // eventHeap is a binary min-heap of events stored by value, ordered by
@@ -129,13 +255,11 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
-// pop removes and returns the minimum event. The vacated tail slot is
-// zeroed so the heap does not pin the fired closure past its dispatch.
+// pop removes and returns the minimum event.
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	n := len(h.ev) - 1
 	h.ev[0] = h.ev[n]
-	h.ev[n] = event{}
 	h.ev = h.ev[:n]
 	i := 0
 	for {

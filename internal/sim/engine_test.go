@@ -80,6 +80,118 @@ func TestEngineStepEmpty(t *testing.T) {
 	}
 }
 
+func TestEnginePeekTime(t *testing.T) {
+	e := NewEngine()
+	if got := e.PeekTime(); got != NoPending {
+		t.Fatalf("PeekTime on empty engine = %d, want NoPending", got)
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	e.At(20, func() {})
+	if got := e.PeekTime(); got != 10 {
+		t.Fatalf("PeekTime = %d, want 10 (the earliest event)", got)
+	}
+	e.Step()
+	if got := e.PeekTime(); got != 20 {
+		t.Fatalf("PeekTime after one step = %d, want 20", got)
+	}
+	e.Run(nil)
+	if got := e.PeekTime(); got != NoPending {
+		t.Fatalf("PeekTime after drain = %d, want NoPending", got)
+	}
+	// Any real event time compares strictly below the sentinel, which is
+	// what lets batching loops use `t < PeekTime()` without an empty check.
+	if NoPending <= 1<<62 {
+		t.Fatal("NoPending not above all practical event times")
+	}
+}
+
+// TestEngineBatchCommitOnHorizon pins the tie-order contract horizon
+// batching relies on: an event scheduled exactly AT the horizon (the
+// pending event's time) fires after that pending event, because the
+// pending event holds an older sequence number. A batched actor that
+// stopped at the horizon and re-entered via At therefore observes the
+// same order as one that had scheduled every intermediate step.
+func TestEngineBatchCommitOnHorizon(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(100, func() { got = append(got, "pending") })
+	// Batched actor: skips its intermediate steps and lands on the horizon.
+	e.At(100, func() { got = append(got, "batched") })
+	e.Run(nil)
+	if len(got) != 2 || got[0] != "pending" || got[1] != "batched" {
+		t.Fatalf("horizon tie order = %v, want [pending batched]", got)
+	}
+}
+
+func TestEngineHandleScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	h := e.Register(func() { got = append(got, "h") })
+	ah := e.RegisterArg(func(v uint64) { got = append(got, string(rune('a'+v))) })
+
+	e.AtHandle(10, h)
+	e.AfterHandle(20, h)
+	e.AtArgHandle(15, ah, 1)
+	e.AfterArgHandle(5, ah, 2)
+	e.Run(nil)
+	// t=5 arg 2 ("c"), t=10 handle, t=15 arg 1 ("b"), t=20 handle.
+	want := []string{"c", "h", "b", "h"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("final time = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineHandlePastEventPanics(t *testing.T) {
+	e := NewEngine()
+	h := e.Register(func() {})
+	ah := e.RegisterArg(func(uint64) {})
+	e.After(10, func() {
+		for _, try := range []func(){
+			func() { e.AtHandle(5, h) },
+			func() { e.AtArgHandle(5, ah, 0) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("handle scheduling in the past did not panic")
+					}
+				}()
+				try()
+			}()
+		}
+	})
+	e.Run(nil)
+}
+
+// TestEngineMixedTieOrder interleaves closure and handle events at one
+// instant: insertion order must still be the only tiebreak, regardless of
+// which scheduling API each event used.
+func TestEngineMixedTieOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	h0 := e.Register(func() { got = append(got, 0) })
+	h2 := e.RegisterArg(func(uint64) { got = append(got, 2) })
+	e.AtHandle(50, h0)
+	e.At(50, func() { got = append(got, 1) })
+	e.AtArgHandle(50, h2, 0)
+	e.At(50, func() { got = append(got, 3) })
+	e.Run(nil)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed tie order = %v, want ascending", got)
+		}
+	}
+}
+
 func TestBreakdown(t *testing.T) {
 	var b Breakdown
 	b.Add(CatTx, 100)

@@ -192,8 +192,16 @@ func (m *Machine) ThreadExit(t *Thread) {
 // ShouldPreempt reports whether the running thread has exhausted its
 // quantum and another thread is waiting for the core.
 func (m *Machine) ShouldPreempt(t *Thread) bool {
+	return m.ShouldPreemptAt(t, m.Eng.Now())
+}
+
+// ShouldPreemptAt is ShouldPreempt evaluated at an explicit instant. The
+// batched runner uses it to find the preemption boundary inside a horizon
+// batch: the ready queue can only change when an event fires, so between
+// Now and the engine's next event the answer depends purely on `now`.
+func (m *Machine) ShouldPreemptAt(t *Thread, now int64) bool {
 	c := m.cores[t.Core]
-	return len(c.ready) > 0 && m.Eng.Now()-t.dispatchedAt >= m.Costs.Quantum
+	return len(c.ready) > 0 && now-t.dispatchedAt >= m.Costs.Quantum
 }
 
 // Preempt performs an involuntary context switch of the running thread.

@@ -78,6 +78,12 @@ type RunConfig struct {
 	// sampler (pressure / mean confidence / abort-rate EWMA). Zero means
 	// DefaultSampleInterval. Only active when Metrics is set.
 	SampleInterval int64
+
+	// NoBatch disables horizon-batched execution and takes the legacy
+	// one-event-per-access path. Results are cycle-identical either way
+	// (the differential tests pin this); the flag exists so the two paths
+	// can be cross-checked and regressions bisected.
+	NoBatch bool
 }
 
 // DefaultSampleInterval is the sampler period in simulated cycles.
@@ -176,26 +182,39 @@ type threadCtx struct {
 	beginRes   sched.BeginResult
 	spinTarget int
 	spinGrace  int
+	// batchHolder carries the NACKing transaction from a horizon-batched
+	// access to the stall continuation that re-enters the engine at the
+	// access's logical completion time. No pin is needed: the completion
+	// time is strictly below the horizon, so the holder cannot finish
+	// before the continuation fires.
+	batchHolder *tm.Tx
 
 	*ctxScratch
 
-	// Cached continuations, bound once per run by bindContinuations so
-	// steady-state event scheduling allocates no closures.
-	contFetchNext    func()
-	contNonTx        func()
-	contNonTxStep    func()
-	contTryBegin     func()
-	contBeginAct     func()
-	contBeginSpin    func()
-	contStepAccess   func()
-	contAccess       func()
-	contCommit       func()
-	contPostCommit   func()
-	contRollback     func()
-	contPostAbort    func()
-	contAbort        func()
-	contSpinCheck    func(gen uint64)
-	contStallTimeout func(gen uint64)
+	// Cached continuations, bound once per run by bindContinuations.
+	// The func forms exist for the resume hook (called directly on
+	// dispatch); everything scheduled through the engine goes by
+	// registered Handle so the event heap stays pointer-free.
+	contFetchNext  func()
+	contNonTx      func()
+	contTryBegin   func()
+	contStepAccess func()
+
+	hNonTxStep    Handle
+	hTryBegin     Handle
+	hBeginAct     Handle
+	hBeginSpin    Handle
+	hStepAccess   Handle
+	hAccess       Handle
+	hPostAccess   Handle
+	hBatchStall   Handle
+	hCommit       Handle
+	hPostCommit   Handle
+	hRollback     Handle
+	hPostAbort    Handle
+	hAbort        Handle
+	hSpinCheck    ArgHandle
+	hStallTimeout ArgHandle
 }
 
 // ctxScratch holds a thread context's reusable allocations: the commit-path
@@ -291,6 +310,14 @@ type Runner struct {
 	makespan int64
 	timedOut bool
 
+	// noBatch mirrors cfg.NoBatch. batchNow is the logical time of the
+	// access currently executing inside a horizon batch (0 when no batch
+	// is in flight): the engine clock still reads the batch's start time,
+	// so code that can run underneath a batched access — the remote-doom
+	// hook — must take its timestamps from simNow, not Engine.Now.
+	noBatch  bool
+	batchNow int64
+
 	// Prediction-quality accounting and the time-series sampler (only
 	// wired when cfg.Metrics is set; all instrument pointers are nil-safe).
 	metPredSer   *metrics.Counter // serializations on a predicted conflict
@@ -340,6 +367,7 @@ func NewRunner(cfg RunConfig) *Runner {
 		simCnt:        make([]int64, nStatic),
 		commitsPerStx: make([]int64, nStatic),
 		latency:       make([]stats.Histogram, nStatic),
+		noBatch:       cfg.NoBatch,
 	}
 	for i := range r.cpuSlot {
 		r.cpuSlot[i] = core.NoTx
@@ -387,45 +415,56 @@ func NewRunner(cfg RunConfig) *Runner {
 	return r
 }
 
-// bindContinuations builds the thread's reusable event closures once, so
-// steady-state event scheduling never allocates: every After call passes
-// one of these long-lived funcs, with variant data carried in ctx fields
-// (beginRes, spinTarget/spinGrace) or in the event itself (the AfterArg
-// generation snapshots).
+// bindContinuations builds the thread's reusable continuations once and
+// registers the engine-scheduled ones as handles, so steady-state event
+// scheduling allocates no closures and pushes no pointers into the event
+// heap. Variant data rides in ctx fields (beginRes, spinTarget/spinGrace,
+// batchHolder) or in the event itself (the AfterArg generation
+// snapshots).
 func (r *Runner) bindContinuations(ctx *threadCtx) {
 	ctx.contFetchNext = func() { r.fetchNext(ctx) }
 	ctx.contNonTx = func() { r.runNonTx(ctx) }
 	ctx.contTryBegin = func() { r.tryBegin(ctx) }
 	ctx.contStepAccess = func() { r.stepAccess(ctx) }
-	ctx.contAbort = func() { r.abortTx(ctx) }
-	ctx.contNonTxStep = func() {
+
+	eng := r.eng
+	ctx.hNonTxStep = eng.Register(func() {
 		ctx.resume = ctx.contNonTx
 		if r.maybePreempt(ctx) {
 			return
 		}
 		r.runNonTx(ctx)
-	}
-	ctx.contBeginAct = func() { r.actOnBegin(ctx) }
-	ctx.contBeginSpin = func() { r.beginSpin(ctx, ctx.spinTarget, ctx.spinGrace) }
-	ctx.contAccess = func() { r.performAccess(ctx) }
-	ctx.contCommit = func() { r.finishCommit(ctx) }
-	ctx.contPostCommit = func() {
+	})
+	ctx.hTryBegin = eng.Register(ctx.contTryBegin)
+	ctx.hBeginAct = eng.Register(func() { r.actOnBegin(ctx) })
+	ctx.hBeginSpin = eng.Register(func() { r.beginSpin(ctx, ctx.spinTarget, ctx.spinGrace) })
+	ctx.hStepAccess = eng.Register(ctx.contStepAccess)
+	ctx.hAccess = eng.Register(func() { r.performAccess(ctx) })
+	ctx.hPostAccess = eng.Register(func() { r.postAccess(ctx) })
+	ctx.hBatchStall = eng.Register(func() {
+		holder := ctx.batchHolder
+		ctx.batchHolder = nil
+		r.lineStall(ctx, holder)
+	})
+	ctx.hCommit = eng.Register(func() { r.finishCommit(ctx) })
+	ctx.hPostCommit = eng.Register(func() {
 		ctx.resume = ctx.contFetchNext
 		if r.maybePreempt(ctx) {
 			return
 		}
 		r.fetchNext(ctx)
-	}
-	ctx.contRollback = func() { r.finishAbort(ctx) }
-	ctx.contPostAbort = func() {
+	})
+	ctx.hRollback = eng.Register(func() { r.finishAbort(ctx) })
+	ctx.hPostAbort = eng.Register(func() {
 		ctx.resume = ctx.contTryBegin
 		if r.maybePreempt(ctx) {
 			return
 		}
 		r.tryBegin(ctx)
-	}
-	ctx.contSpinCheck = func(gen uint64) { r.beginSpinCheck(ctx, gen) }
-	ctx.contStallTimeout = func(gen uint64) { r.stallTimeout(ctx, gen) }
+	})
+	ctx.hAbort = eng.Register(func() { r.abortTx(ctx) })
+	ctx.hSpinCheck = eng.RegisterArg(func(gen uint64) { r.beginSpinCheck(ctx, gen) })
+	ctx.hStallTimeout = eng.RegisterArg(func(gen uint64) { r.stallTimeout(ctx, gen) })
 }
 
 // emit records a trace event if tracing is enabled. other is the
@@ -503,6 +542,19 @@ func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
 
 func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.th.Core }
 
+// simNow is the current logical simulation time: the engine clock, or —
+// underneath a horizon-batched access — that access's completion time,
+// which the engine has not caught up to yet. Code that can execute on
+// both sides (the remote-doom hook and the spin charger) must use this
+// instead of Engine.Now so batched and per-event runs stamp identical
+// times.
+func (r *Runner) simNow() int64 {
+	if r.batchNow > 0 {
+		return r.batchNow
+	}
+	return r.eng.Now()
+}
+
 // setSlot updates the CPU-table slot for a core and notifies the manager.
 func (r *Runner) setSlot(cpu, dtx int) {
 	if r.cpuSlot[cpu] == dtx {
@@ -556,19 +608,52 @@ func (r *Runner) fetchNext(ctx *threadCtx) {
 	r.runNonTx(ctx)
 }
 
-// runNonTx burns the pre-transaction compute in preemptible chunks.
+// runNonTx burns the pre-transaction compute in preemptible chunks. The
+// batched path consumes consecutive chunks locally while their completion
+// times stay strictly below the engine's horizon and the quantum allows
+// it, re-entering the engine once with the accumulated time; the legacy
+// path (NoBatch) pays one event round-trip per chunk. Both charge the
+// same cycles at the same logical instants.
 func (r *Runner) runNonTx(ctx *threadCtx) {
 	if ctx.pendingPre <= 0 {
 		r.tryBegin(ctx)
 		return
 	}
-	chunk := ctx.pendingPre
-	if chunk > r.cfg.NonTxChunk {
-		chunk = r.cfg.NonTxChunk
+	if r.noBatch {
+		chunk := ctx.pendingPre
+		if chunk > r.cfg.NonTxChunk {
+			chunk = r.cfg.NonTxChunk
+		}
+		ctx.pendingPre -= chunk
+		ctx.th.Charge(CatNonTx, chunk)
+		r.eng.AfterHandle(chunk, ctx.hNonTxStep)
+		return
 	}
-	ctx.pendingPre -= chunk
-	ctx.th.Charge(CatNonTx, chunk)
-	r.eng.After(chunk, ctx.contNonTxStep)
+	local := r.eng.Now()
+	for {
+		chunk := ctx.pendingPre
+		if chunk > r.cfg.NonTxChunk {
+			chunk = r.cfg.NonTxChunk
+		}
+		t := local + chunk
+		ctx.pendingPre -= chunk
+		ctx.th.Charge(CatNonTx, chunk)
+		if t >= r.eng.PeekTime() || r.mac.ShouldPreemptAt(ctx.th, t) {
+			// Horizon or quantum boundary: re-enter the engine at this
+			// chunk's completion time and take the per-event path there
+			// (contNonTxStep redoes the preemption check at engine time
+			// t, exactly as the legacy step does).
+			r.eng.AtHandle(t, ctx.hNonTxStep)
+			return
+		}
+		if ctx.pendingPre <= 0 {
+			// All pre-transaction compute consumed below the horizon with
+			// no preemption due: begin the transaction at its exact time.
+			r.eng.AtHandle(t, ctx.hTryBegin)
+			return
+		}
+		local = t
+	}
 }
 
 // tryBegin consults the contention manager and acts on its decision.
@@ -588,7 +673,7 @@ func (r *Runner) tryBegin(ctx *threadCtx) {
 		r.setSlot(r.cpuOf(ctx), r.dtxOf(ctx))
 	}
 	ctx.beginRes = res
-	r.eng.After(res.Overhead, ctx.contBeginAct)
+	r.eng.AfterHandle(res.Overhead, ctx.hBeginAct)
 }
 
 // actOnBegin acts on the manager's begin decision once its overhead has
@@ -626,11 +711,11 @@ func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
 		if grace > 0 {
 			ctx.spinTarget = waitDTx
 			ctx.spinGrace = grace - 1
-			r.eng.After(recheck, ctx.contBeginSpin)
+			r.eng.AfterHandle(recheck, ctx.hBeginSpin)
 		} else {
 			// Stale announcement (the transaction ended or never started):
 			// re-execute TX_BEGIN.
-			r.eng.After(recheck, ctx.contTryBegin)
+			r.eng.AfterHandle(recheck, ctx.hTryBegin)
 		}
 		return
 	}
@@ -653,7 +738,7 @@ func (r *Runner) scheduleBeginSpinCheck(ctx *threadCtx, gen uint64) {
 	if wait < 1 {
 		wait = 1
 	}
-	r.eng.AfterArg(wait, ctx.contSpinCheck, gen)
+	r.eng.AfterArgHandle(wait, ctx.hSpinCheck, gen)
 }
 
 // beginSpinCheck is the preemption check while spinning at begin.
@@ -686,15 +771,18 @@ func (r *Runner) dropBeginWaiter(ctx *threadCtx) {
 }
 
 // chargeSpin charges the elapsed spin interval to a category and resets
-// the mark.
+// the mark. It reads simNow, not the engine clock: the remote-doom hook
+// can charge a victim's spin from underneath a horizon-batched access,
+// where the logical time is ahead of the engine.
 func (r *Runner) chargeSpin(ctx *threadCtx, cat Category) {
-	d := r.eng.Now() - ctx.chargeMark
+	now := r.simNow()
+	d := now - ctx.chargeMark
 	if d > 0 {
 		ctx.th.Charge(cat, d)
 		if cat == CatTx {
 			ctx.txCycles += d
 		}
-		ctx.chargeMark = r.eng.Now()
+		ctx.chargeMark = now
 	}
 }
 
@@ -711,27 +799,99 @@ func (r *Runner) startTx(ctx *threadCtx) {
 	ctx.txCycles += r.cfg.TMCosts.Begin
 	r.emit(ctx, trace.KBegin, -1, -1, 0)
 	r.setSlot(r.cpuOf(ctx), dtx)
-	r.eng.After(r.cfg.TMCosts.Begin, func() { r.stepAccess(ctx) })
+	r.eng.AfterHandle(r.cfg.TMCosts.Begin, ctx.hStepAccess)
 }
 
-// stepAccess executes the next transactional access (or commits).
+// stepAccess executes the next transactional access (or commits). With
+// batching enabled this is the horizon loop: consecutive accesses are
+// consumed in place while each completion time stays strictly below the
+// engine's next pending event, so the straight-line body of a transaction
+// costs zero heap round-trips; the engine is re-entered only at the
+// horizon, at quantum expiry, on a conflict/stall/abort, or at the commit
+// boundary, always at the exact timestamp the per-event path would have
+// produced.
 func (r *Runner) stepAccess(ctx *threadCtx) {
 	if ctx.tx.Doomed {
 		r.abortTx(ctx)
 		return
 	}
-	if ctx.accIdx >= len(ctx.desc.Accesses) {
-		r.commitTx(ctx)
+	if r.noBatch {
+		if ctx.accIdx >= len(ctx.desc.Accesses) {
+			r.commitTx(ctx)
+			return
+		}
+		// Compute gap, then the access itself.
+		d := ctx.gap + r.cfg.TMCosts.Access
+		ctx.th.Charge(CatTx, d)
+		ctx.txCycles += d
+		r.eng.AfterHandle(d, ctx.hAccess)
 		return
 	}
-	// Compute gap, then the access itself.
+	local := r.eng.Now()
 	d := ctx.gap + r.cfg.TMCosts.Access
-	ctx.th.Charge(CatTx, d)
-	ctx.txCycles += d
-	r.eng.After(d, ctx.contAccess)
+	for {
+		if ctx.accIdx >= len(ctx.desc.Accesses) {
+			// Commit at logical time local: the same charge + event the
+			// legacy commitTx issues when called at that instant.
+			c := r.cfg.TMCosts.Commit
+			ctx.th.Charge(CatTx, c)
+			ctx.txCycles += c
+			r.eng.AtHandle(local+c, ctx.hCommit)
+			return
+		}
+		t := local + d
+		// PeekTime is re-read each iteration: it is O(1) and guards the
+		// (impossible today, cheap to insure against) case of an in-batch
+		// call scheduling a new earlier event.
+		if t >= r.eng.PeekTime() {
+			// This access's completion would not precede the next event:
+			// schedule it as a real event so anything landing at the same
+			// instant keeps its (time, seq) precedence, and let
+			// performAccess re-check Doomed at engine time t exactly as
+			// the legacy path does.
+			ctx.th.Charge(CatTx, d)
+			ctx.txCycles += d
+			r.eng.AtHandle(t, ctx.hAccess)
+			return
+		}
+		// The access completes strictly before any other actor can run:
+		// perform it now at logical time t. The TM is timeless, so the
+		// result is identical to evaluating it at engine time t — except
+		// for the remote-doom hook, which reads simNow (hence batchNow).
+		ctx.th.Charge(CatTx, d)
+		ctx.txCycles += d
+		r.batchNow = t
+		acc := ctx.desc.Accesses[ctx.accIdx]
+		res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
+		r.batchNow = 0
+		switch {
+		case res.OK:
+			ctx.accIdx++
+			if r.mac.ShouldPreemptAt(ctx.th, t) {
+				// Quantum boundary: re-enter the engine at the access's
+				// completion time; postAccess performs the preemption
+				// there, as the legacy path would.
+				r.eng.AtHandle(t, ctx.hPostAccess)
+				return
+			}
+			local = t
+		case res.Holder != nil:
+			// NACKed: stall at the access's completion time. The holder
+			// pointer stays valid across the event because t is strictly
+			// below the horizon — no other actor runs in between.
+			ctx.batchHolder = res.Holder
+			r.eng.AtHandle(t, ctx.hBatchStall)
+			return
+		default: // doomed by deadlock resolution
+			r.eng.AtHandle(t, ctx.hAbort)
+			return
+		}
+	}
 }
 
-// performAccess issues the access once its latency has been charged.
+// performAccess issues the access once its latency has been charged — the
+// per-event path, taken under NoBatch and whenever a batched access lands
+// on or past the horizon.
 func (r *Runner) performAccess(ctx *threadCtx) {
 	if ctx.tx.Doomed {
 		r.abortTx(ctx)
@@ -742,16 +902,22 @@ func (r *Runner) performAccess(ctx *threadCtx) {
 	switch {
 	case res.OK:
 		ctx.accIdx++
-		ctx.resume = ctx.contStepAccess
-		if r.maybePreempt(ctx) {
-			return
-		}
-		r.stepAccess(ctx)
+		r.postAccess(ctx)
 	case res.Holder != nil:
 		r.lineStall(ctx, res.Holder)
 	default: // doomed by deadlock resolution
 		r.abortTx(ctx)
 	}
+}
+
+// postAccess is the step after a successful access: preempt if the
+// quantum expired, otherwise continue with the next access.
+func (r *Runner) postAccess(ctx *threadCtx) {
+	ctx.resume = ctx.contStepAccess
+	if r.maybePreempt(ctx) {
+		return
+	}
+	r.stepAccess(ctx)
 }
 
 // lineStall handles a NACK: spin on the line until the holder releases or
@@ -781,7 +947,7 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 			budget = 1
 		}
 	}
-	r.eng.AfterArg(budget, ctx.contStallTimeout, gen)
+	r.eng.AfterArgHandle(budget, ctx.hStallTimeout, gen)
 }
 
 // stallTimeout fires when a NACKed spin exhausts its budget; the generation
@@ -825,7 +991,7 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.holder = nil
-		r.eng.After(1, ctx.contStepAccess) // retry the same access
+		r.eng.AfterHandle(1, ctx.hStepAccess) // retry the same access
 	}
 	delete(r.stallWaiters, tx)
 
@@ -837,7 +1003,7 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.waitDTx = core.NoTx
-		r.eng.After(1, ctx.contTryBegin)
+		r.eng.AfterHandle(1, ctx.hTryBegin)
 	}
 	delete(r.beginWaiters, tx.DTx)
 }
@@ -856,7 +1022,10 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 	ctx.waitGen++
 	r.dropStallWaiter(ctx)
 	ctx.holder = nil
-	r.eng.After(1, ctx.contAbort)
+	// Scheduled from simNow, not the engine clock: the dooming access may
+	// be executing inside another thread's horizon batch, logically ahead
+	// of the engine.
+	r.eng.AtHandle(r.simNow()+1, ctx.hAbort)
 }
 
 // commitTx finishes the transaction: hardware commit, manager bookkeeping,
@@ -864,7 +1033,7 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 func (r *Runner) commitTx(ctx *threadCtx) {
 	ctx.th.Charge(CatTx, r.cfg.TMCosts.Commit)
 	ctx.txCycles += r.cfg.TMCosts.Commit
-	r.eng.After(r.cfg.TMCosts.Commit, ctx.contCommit)
+	r.eng.AfterHandle(r.cfg.TMCosts.Commit, ctx.hCommit)
 }
 
 // finishCommit runs once the hardware commit latency has elapsed. The
@@ -897,7 +1066,7 @@ func (r *Runner) finishCommit(ctx *threadCtx) {
 	if overhead > 0 {
 		ctx.th.Charge(CatScheduling, overhead)
 	}
-	r.eng.After(overhead, ctx.contPostCommit)
+	r.eng.AfterHandle(overhead, ctx.hPostCommit)
 }
 
 // profileCommit records exact Eq. 1 similarity for Table 1, reading the
@@ -949,7 +1118,7 @@ func (r *Runner) abortTx(ctx *threadCtx) {
 	r.emit(ctx, trace.KAbort, tx.DoomedByTid*r.cfg.Workload.NumStatic()+tx.DoomedByStx, tx.DoomedByStx, 0)
 	rollback := r.cfg.TMCosts.RollbackBase + r.cfg.TMCosts.RollbackPerLine*int64(tx.NumWrites())
 	ctx.th.Charge(CatAbort, rollback)
-	r.eng.After(rollback, ctx.contRollback)
+	r.eng.AfterHandle(rollback, ctx.hRollback)
 }
 
 // finishAbort runs once the undo-log walk has been charged: release
@@ -965,7 +1134,7 @@ func (r *Runner) finishAbort(ctx *threadCtx) {
 	r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
 	ctx.th.Charge(CatScheduling, ab.Overhead)
 	ctx.th.Charge(CatAbort, ab.Backoff)
-	r.eng.After(ab.Overhead+ab.Backoff, ctx.contPostAbort)
+	r.eng.AfterHandle(ab.Overhead+ab.Backoff, ctx.hPostAbort)
 }
 
 // sample records one time-series point and reschedules itself via the

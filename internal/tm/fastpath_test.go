@@ -1,0 +1,108 @@
+package tm
+
+import "testing"
+
+// TestReaccessFastPath exercises the own-set probe that short-circuits
+// Access for lines the transaction already holds: re-reads and re-writes
+// must succeed without perturbing the set accounting or the directory, and
+// the paths the probe must NOT take (read-after-write's first read, the
+// upgrade) must still reach the directory.
+func TestReaccessFastPath(t *testing.T) {
+	s := NewSystem(2)
+	a := begin(s, 0, 0)
+	b := begin(s, 1, 1)
+
+	if !s.Access(a, 10, true).OK {
+		t.Fatal("initial write NACKed")
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Access(a, 10, true).OK {
+			t.Fatal("re-write NACKed")
+		}
+	}
+	if !s.Access(a, 20, false).OK {
+		t.Fatal("initial read NACKed")
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Access(a, 20, false).OK {
+			t.Fatal("re-read NACKed")
+		}
+	}
+	if a.NumWrites() != 1 || a.NumLines() != 2 {
+		t.Fatalf("writes=%d lines=%d after re-accesses, want 1 and 2", a.NumWrites(), a.NumLines())
+	}
+
+	// Read-after-write takes the slow path on its first read (it must join
+	// the line's reader list) and still leaves the counts right.
+	if !s.Access(a, 10, false).OK {
+		t.Fatal("read-after-write NACKed")
+	}
+	if a.NumWrites() != 1 || a.NumLines() != 2 {
+		t.Fatalf("writes=%d lines=%d after RAW, want 1 and 2", a.NumWrites(), a.NumLines())
+	}
+
+	// The directory still isolates: b conflicts on a's written line even
+	// after all of a's fast-path hits.
+	if res := s.Access(b, 10, false); res.OK || res.Holder != a {
+		t.Fatalf("remote read of written line: OK=%v holder=%v, want NACK by a", res.OK, res.Holder)
+	}
+
+	// An upgrade (read set hit, write intent) must not fast-path: b reads
+	// 30, a reads 30, then b upgrading to write must see a as a conflicting
+	// reader.
+	if !s.Access(b, 30, false).OK || !s.Access(a, 30, false).OK {
+		t.Fatal("shared readers conflicted")
+	}
+	if res := s.Access(b, 30, true); res.OK || res.Holder != a {
+		t.Fatalf("upgrade past foreign reader: OK=%v holder=%v, want NACK by a", res.OK, res.Holder)
+	}
+}
+
+// TestReaccessDoomedStillRefused pins the check order: a doomed transaction
+// is refused even on a line it already holds.
+func TestReaccessDoomedStillRefused(t *testing.T) {
+	s := NewSystem(1)
+	a := begin(s, 0, 0)
+	if !s.Access(a, 5, true).OK {
+		t.Fatal("initial write NACKed")
+	}
+	a.Doomed = true
+	if res := s.Access(a, 5, true); res.OK {
+		t.Fatal("doomed tx re-write returned OK")
+	}
+}
+
+// BenchmarkAccessReaccess measures the hot re-access pattern the simulator
+// generates: a transaction touching its own working set over and over. The
+// own-set probe should keep this off the line directory entirely.
+func BenchmarkAccessReaccess(b *testing.B) {
+	s := NewSystem(1)
+	tx := begin(s, 0, 0)
+	const span = 8
+	for i := 0; i < span; i++ {
+		s.Access(tx, uint64(i), false)
+		s.Access(tx, uint64(i), i < span/2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i % span)
+		if !s.Access(tx, addr, addr < span/2).OK {
+			b.Fatal("re-access NACKed")
+		}
+	}
+}
+
+// BenchmarkAccessFirstTouch is the contrast case: distinct lines every
+// iteration, so every access walks the directory. Comparing it with
+// BenchmarkAccessReaccess shows what the fast path saves.
+func BenchmarkAccessFirstTouch(b *testing.B) {
+	s := NewSystem(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin(0, 0, i)
+		if !s.Access(tx, uint64(i), true).OK {
+			b.Fatal("first access NACKed")
+		}
+		s.Commit(tx)
+	}
+}

@@ -228,6 +228,23 @@ func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
 	}
 	tx.waitFor = nil // a retry clears any previous stall edge
 
+	// Re-access fast path: probe the transaction's own line sets before the
+	// line directory. A line this tx already writes cannot conflict (the
+	// directory pins ln.writer == tx until release, and no reader can join
+	// past a writer), and a line it already reads can only have writer nil
+	// or self (a foreign writer would have had to get past this reader).
+	// Both re-accesses leave every System and Tx structure untouched, so
+	// skipping the directory is state-identical, not just result-identical.
+	// Read-after-write intentionally misses here: its first read must still
+	// take the slow path to join ln.readers.
+	if write {
+		if tx.writes.has(addr) {
+			return AccessResult{OK: true}
+		}
+	} else if tx.reads.has(addr) {
+		return AccessResult{OK: true}
+	}
+
 	ln := s.lines[addr]
 	if ln == nil {
 		if n := len(s.lineFree); n > 0 {

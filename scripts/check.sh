@@ -27,3 +27,17 @@ go run ./scripts/jsonverify "$tmp"
 # catches benchmarks that rot until release time.
 go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate' \
 	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ >/dev/null
+# Fig4a wall-clock gate: the end-to-end figure run must stay within 15% of
+# the committed baseline, so batching-path regressions fail here instead of
+# rotting. The baseline is machine-specific — on other hardware either
+# refresh scripts/fig4a_baseline.txt or set SKIP_FIG4A_GATE=1.
+if [ -z "${SKIP_FIG4A_GATE:-}" ]; then
+	baseline=$(grep -v '^#' scripts/fig4a_baseline.txt)
+	nsop=$(go test -run=NONE -bench='^BenchmarkFig4a$' -benchtime=1x . |
+		awk '/^BenchmarkFig4a/ {print $3; exit}')
+	awk -v base="$baseline" -v got="$nsop" 'BEGIN {
+		limit = base * 1.15
+		printf "fig4a gate: %.0f ns/op vs baseline %.0f (limit %.0f)\n", got, base, limit
+		exit got > limit ? 1 : 0
+	}' || { echo "BenchmarkFig4a regressed >15% vs scripts/fig4a_baseline.txt" >&2; exit 1; }
+fi
