@@ -1,0 +1,20 @@
+// Command bfgtsvet is the repo's static-analysis gate: a go vet tool
+// running the internal/analysis suite (determinism, allocfree, pinpair,
+// metricshoist) over the module.
+//
+// Usage:
+//
+//	go build -o /tmp/bfgtsvet ./cmd/bfgtsvet
+//	go vet -vettool=/tmp/bfgtsvet ./...
+//
+// or, equivalently, `bfgtsvet ./...`, which re-execs go vet with itself as
+// the vet tool. scripts/check.sh runs it before the test phase so analyzer
+// findings fail fast. See internal/analysis/README.md for the analyzer
+// contracts and the //bfgts: directive reference.
+package main
+
+import "repro/internal/analysis"
+
+func main() {
+	analysis.VetMain()
+}

@@ -1,0 +1,202 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want` expectations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract closely enough that
+// fixtures would port over unchanged:
+//
+//	func bad() { time.Now() } // want `time\.Now`
+//
+// A want comment holds one or more quoted regular expressions (double- or
+// back-quoted); every diagnostic reported on that line must match one of
+// them, every expectation must be matched by some diagnostic, and lines
+// without a want comment must produce no diagnostics.
+//
+// Fixtures live under <dir>/src/<pkg>/ and may import only the standard
+// library (they are type-checked with the stdlib source importer, since
+// this module vendors no x/tools loader).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes the fixture package at dir/src/pkg with a and reports any
+// mismatch between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	names, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s: %v", pkgDir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := cfg.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", pkg, err)
+	}
+
+	diags, err := analysis.Run(a, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := posKey{pos.Filename, pos.Line}
+		ok := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants parses every `// want "re" ...` comment into expectations
+// keyed by (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{pos.Filename, pos.Line}
+				patterns, err := splitQuoted(rest)
+				if err != nil || len(patterns) == 0 {
+					t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts consecutive Go-quoted strings ("..." or `...`).
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		// Find the index of the closing quote, honoring backslash
+		// escapes inside double quotes.
+		end := -1
+		switch s[0] {
+		case '"':
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+		case '`':
+			if i := strings.Index(s[1:], "`"); i >= 0 {
+				end = i + 1
+			}
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		quoted := s[:end+1]
+		unq, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("unquote %q: %v", quoted, err)
+		}
+		out = append(out, unq)
+		s = s[end+1:]
+	}
+}
+
+// TestData returns the absolute path of the caller-relative testdata
+// directory, matching the x/tools helper of the same name.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("no testdata directory: %v", err)
+	}
+	return dir
+}

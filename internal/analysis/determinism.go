@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the byte-identical-output contract statically: the
+// pinned packages (internal/sim, internal/tm, internal/sched,
+// internal/harness — see pinnedPackages in vet.go) may not read the wall
+// clock, draw from the process-global math/rand source, or let unordered
+// map-range iteration feed appends or rendered output.
+//
+// The map-range rule flags a `for ... range m` over a map whose body
+//
+//   - appends to a slice declared outside the loop, or
+//   - calls an output routine (the fmt print family, or any Write*/Print*
+//     method),
+//
+// because either launders the map's randomized iteration order into
+// observable results. The one sanctioned shape is collect-then-sort: a body
+// whose only appends push the range key/value variables themselves into a
+// slice that is later passed to a sort call (sort.Strings, sort.Slice,
+// slices.Sort, or any function whose name contains "sort") in the same
+// function. Order-independent bodies — map writes, commutative accumulation,
+// deletes — are not flagged.
+//
+// Seeded rand.New(rand.NewSource(seed)) is always allowed; only the
+// top-level convenience functions that consult the shared global source
+// (rand.Intn, rand.Float64, rand.Shuffle, ...) are banned.
+var Determinism = &Analyzer{
+	Name:       "determinism",
+	Doc:        "forbid wall-clock time, global math/rand, and map-range iteration feeding output or appends in byte-identical packages",
+	PinnedOnly: true,
+	Run:        runDeterminism,
+}
+
+// bannedTime are the time-package functions that read the wall clock.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// bannedGlobalRand are the math/rand and math/rand/v2 top-level functions
+// that draw from the shared global source. Constructors (New, NewSource,
+// NewPCG, NewChaCha8, NewZipf) are deterministic given a seed and allowed.
+var bannedGlobalRand = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "N": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkDetSelector(pass, n)
+		case *ast.RangeStmt:
+			checkDetMapRange(pass, n, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkDetSelector flags pkg.Fn selectors into time's wall-clock readers
+// and math/rand's global-source functions.
+func checkDetSelector(pass *Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if bannedTime[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; byte-identical packages must take time from the simulated engine", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if bannedGlobalRand[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "global math/rand.%s draws from the process-wide source; use a seeded rand.New(rand.NewSource(...))", sel.Sel.Name)
+		}
+	}
+}
+
+// checkDetMapRange applies the map-range rule described on Determinism.
+func checkDetMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	keyObj := rangeVarObj(pass, rng.Key)
+	valObj := rangeVarObj(pass, rng.Value)
+
+	type appendSite struct {
+		call       *ast.CallExpr
+		target     *ast.Ident // nil when the target is not a plain identifier
+		sortableOK bool       // appends only the range key/value variables
+	}
+	var appends []appendSite
+	var outputPos token.Pos
+	var outputWhat string
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, isOut := outputCallName(pass, call); isOut && outputPos == token.NoPos {
+			outputPos = call.Pos()
+			outputWhat = name
+		}
+		if !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		site := appendSite{call: call}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			// Only an append target declared outside the loop leaks
+			// iteration order; a loop-local scratch dies each iteration.
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+				return true
+			}
+			site.target = id
+		} else {
+			// Selector/index targets (s.free, bufs[i]) always outlive the
+			// loop and have no collect-then-sort form.
+			appends = append(appends, site)
+			return true
+		}
+		site.sortableOK = true
+		for _, arg := range call.Args[1:] {
+			id, ok := arg.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] == nil ||
+				(pass.TypesInfo.Uses[id] != keyObj && pass.TypesInfo.Uses[id] != valObj) {
+				site.sortableOK = false
+				break
+			}
+		}
+		appends = append(appends, site)
+		return true
+	})
+
+	if outputPos != token.NoPos {
+		pass.Reportf(rng.Pos(), "map iteration order feeds %s output; iterate sorted keys instead", outputWhat)
+		return
+	}
+	if len(appends) == 0 {
+		return
+	}
+	// Collect-then-sort exemption: every append pushes only the range
+	// variables, and every target is sorted after the loop.
+	exempt := true
+	fn := enclosingFuncBody(stack)
+	for _, site := range appends {
+		if !site.sortableOK || site.target == nil || fn == nil ||
+			!sortedAfter(pass, fn, rng.End(), site.target) {
+			exempt = false
+			break
+		}
+	}
+	if exempt {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order feeds an append outside the loop; sort the keys first (or append only keys and sort the slice after the loop)")
+}
+
+// rangeVarObj resolves a range clause variable (k or v) to its object.
+func rangeVarObj(pass *Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputCallName reports whether call renders output: the fmt print family
+// or any method whose name starts with Write or Print.
+func outputCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return "fmt." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	if strings.HasPrefix(sel.Sel.Name, "Write") || strings.HasPrefix(sel.Sel.Name, "Print") {
+		return "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// (declaration or literal) on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after position pos, the identifier's object
+// appears as an argument to a call whose callee name contains "sort".
+func sortedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, target *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					name = pn.Imported().Name() + name
+				}
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

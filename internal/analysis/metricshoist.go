@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricsHoist enforces the nil-is-free instrument design from
+// internal/metrics: producers look instruments up once, at construction
+// time, and record through cached struct fields on the hot path. A
+// Registry lookup (Counter, Gauge, Histogram, Summary, Series) inside a
+// loop re-hashes the instrument name every iteration, and inside a
+// //bfgts:allocfree body it also allocates the instrument on first use —
+// both must be hoisted to fields.
+//
+// Matching is by name: a method in the lookup set on a receiver whose
+// named type is called Registry. The repo has exactly one such type.
+var MetricsHoist = &Analyzer{
+	Name: "metricshoist",
+	Doc:  "metrics Registry lookups must be hoisted out of loops and //bfgts:allocfree bodies",
+	Run:  runMetricsHoist,
+}
+
+// registryLookups are the instrument-constructing Registry methods.
+var registryLookups = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Summary": true, "Series": true,
+}
+
+func runMetricsHoist(pass *Pass) error {
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		allocFree := hasDirective(fd.Doc, AllocFreeDirective)
+		var stack []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if method, ok := isRegistryLookup(pass, call); ok {
+					inLoop := false
+					for _, anc := range stack {
+						switch anc.(type) {
+						case *ast.ForStmt, *ast.RangeStmt:
+							inLoop = true
+						}
+					}
+					switch {
+					case inLoop:
+						pass.Reportf(call.Pos(), "Registry.%s lookup inside a loop; hoist the instrument to a struct field acquired at construction time", method)
+					case allocFree:
+						pass.Reportf(call.Pos(), "Registry.%s lookup in //bfgts:allocfree function %s; record through a cached instrument instead", method, fd.Name.Name)
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	})
+	return nil
+}
+
+func isRegistryLookup(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryLookups[sel.Sel.Name] {
+		return "", false
+	}
+	t := pass.exprType(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinPair guards the pooled-Tx storage contract (internal/tm/tm.go): a
+// released transaction's object is recycled by a later Begin unless pinned,
+// so a Pin whose Unpin never runs leaks pool slots, and a Pin with no
+// reachable Unpin at all is a use-after-release waiting to happen — the
+// classifier would read line sets that a recycled Tx has overwritten. The
+// race detector only catches the latter when a test happens to exercise the
+// interleaving; this check fires on every function, exercised or not.
+//
+// Rule: in any function that calls System.Pin (a method named Pin with one
+// argument on a type named System), each Pin call site must be followed —
+// lexically later in the same function, or in a defer anywhere in it — by a
+// System.Unpin call, or carry a `//bfgts:pin-handoff <where>` directive on
+// or directly above the call, documenting which function performs the
+// balancing Unpin.
+//
+// The check is lexical, not flow-sensitive: it will accept a Pin/Unpin pair
+// on divergent branches. It exists to force every cross-function handoff to
+// be written down, not to prove balance.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "every System.Pin must have a later/deferred Unpin in the same function or a //bfgts:pin-handoff directive",
+	Run:  runPinPair,
+}
+
+// PinHandoffDirective marks a Pin whose Unpin lives in another function.
+const PinHandoffDirective = "pin-handoff"
+
+func runPinPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := f
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinPairs(pass, file, fd)
+		}
+	}
+	return nil
+}
+
+func checkPinPairs(pass *Pass, file *ast.File, fd *ast.FuncDecl) {
+	var pins []*ast.CallExpr
+	var unpins []*ast.CallExpr
+	var deferredUnpin bool
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isPinSystemCall(pass, n.Call, "Unpin") {
+				deferredUnpin = true
+			}
+			return true
+		case *ast.CallExpr:
+			if isPinSystemCall(pass, n, "Pin") {
+				pins = append(pins, n)
+			} else if isPinSystemCall(pass, n, "Unpin") {
+				unpins = append(unpins, n)
+			}
+		}
+		return true
+	})
+
+	for _, pin := range pins {
+		if deferredUnpin {
+			continue
+		}
+		balanced := false
+		for _, up := range unpins {
+			if up.Pos() > pin.Pos() {
+				balanced = true
+				break
+			}
+		}
+		if balanced {
+			continue
+		}
+		if lineDirective(pass.Fset, file, pin.Pos(), PinHandoffDirective) {
+			continue
+		}
+		pass.Reportf(pin.Pos(), "System.Pin in %s has no later or deferred Unpin in this function; add one or document the handoff with //bfgts:pin-handoff <where>", fd.Name.Name)
+	}
+}
+
+// isPinSystemCall reports whether call is recv.<method>(x) where recv's
+// type is (a pointer to) a named type called System. Name-based matching
+// keeps the analyzer testable against fixtures outside internal/tm; the
+// repo has exactly one System type with a Pin/Unpin pair.
+func isPinSystemCall(pass *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method || len(call.Args) != 1 {
+		return false
+	}
+	t := pass.exprType(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "System"
+}

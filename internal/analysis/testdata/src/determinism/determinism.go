@@ -1,0 +1,106 @@
+// Package determinism is the analysistest fixture for the determinism
+// analyzer. The deliberate violations mirror the failure modes the pinned
+// packages must never contain: wall-clock reads, global rand draws, and
+// map iteration order leaking into appends or rendered output.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// seededRand is the sanctioned form: deterministic given the seed.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order feeds an append`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+func mapAppendField(s *struct{ free []int }, m map[int]int) {
+	for _, v := range m { // want `map iteration order feeds an append`
+		s.free = append(s.free, v)
+	}
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds fmt\.Println output`
+		fmt.Println(k, v)
+	}
+}
+
+// collectThenSort is the sanctioned idiom: only the range variables are
+// collected, and the slice is sorted before anyone can observe the order.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localSort mirrors harness/multiseed.go, which sorts through a package
+// helper rather than the sort package directly.
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+func collectThenLocalSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// mapCopy is order-independent: map writes commute.
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// loopLocalScratch dies each iteration; no order escapes.
+func loopLocalScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// suppressed demonstrates the driver-honored escape hatch for a finding
+// that is order-independent for reasons the analyzer cannot see.
+func suppressed(m map[string]*int) []*int {
+	var out []*int
+	//bfgts:ignore determinism recycled objects are interchangeable
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package metricshoist is the analysistest fixture for the metricshoist
+// analyzer. Registry/Counter mirror the internal/metrics nil-is-free API.
+package metricshoist
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+type Gauge struct{ v float64 }
+
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gauges[name]
+}
+
+// consumer caches instruments at construction time: the sanctioned shape.
+type consumer struct {
+	hits *Counter
+}
+
+func newConsumer(reg *Registry) *consumer {
+	return &consumer{hits: reg.Counter("hits")}
+}
+
+func (c *consumer) work(n int) {
+	for i := 0; i < n; i++ {
+		c.hits.Inc()
+	}
+}
+
+func lookupInLoop(reg *Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("hits").Inc() // want `Registry\.Counter lookup inside a loop`
+	}
+}
+
+func lookupInRange(reg *Registry, xs []int) {
+	for range xs {
+		_ = reg.Gauge("depth") // want `Registry\.Gauge lookup inside a loop`
+	}
+}
+
+func lookupInNestedFunc(reg *Registry, xs []int) {
+	for range xs {
+		f := func() *Counter {
+			return reg.Counter("deep") // want `Registry\.Counter lookup inside a loop`
+		}
+		f().Inc()
+	}
+}
+
+//bfgts:allocfree
+func lookupInHotPath(reg *Registry) {
+	reg.Counter("hot").Inc() // want `Registry\.Counter lookup in //bfgts:allocfree function lookupInHotPath`
+}
+
+// condLookup is outside any loop and not annotated: allowed (begin-time
+// code paths do this once per run).
+func condLookup(reg *Registry, on bool) *Counter {
+	if on {
+		return reg.Counter("cond")
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package pinpair is the analysistest fixture for the pinpair analyzer.
+// System/Tx mirror the internal/tm pooled-transaction API shape.
+package pinpair
+
+type Tx struct{ pins int }
+
+type System struct{ free []*Tx }
+
+func (s *System) Pin(tx *Tx)   { tx.pins++ }
+func (s *System) Unpin(tx *Tx) { tx.pins-- }
+
+func balanced(s *System, tx *Tx) {
+	s.Pin(tx)
+	s.Unpin(tx)
+}
+
+func deferred(s *System, tx *Tx) {
+	defer s.Unpin(tx)
+	s.Pin(tx)
+}
+
+func leaked(s *System, tx *Tx) {
+	s.Pin(tx) // want `System\.Pin in leaked has no later or deferred Unpin`
+}
+
+func unpinBeforePin(s *System, tx *Tx) {
+	s.Unpin(tx)
+	s.Pin(tx) // want `System\.Pin in unpinBeforePin has no later or deferred Unpin`
+}
+
+// handoff documents that the balancing Unpin runs in classify, mirroring
+// Runner.recordPredWait / Runner.classifyPredWaits in internal/sim.
+func handoff(s *System, tx *Tx, held []*Tx) []*Tx {
+	//bfgts:pin-handoff classify
+	s.Pin(tx)
+	return append(held, tx)
+}
+
+// classify is the receiving side of a handoff: Unpin alone is fine.
+func classify(s *System, held []*Tx) {
+	for _, tx := range held {
+		s.Unpin(tx)
+	}
+}
+
+func loopPinUnpin(s *System, txs []*Tx) {
+	for _, tx := range txs {
+		s.Pin(tx)
+	}
+	for _, tx := range txs {
+		s.Unpin(tx)
+	}
+}
+
+// otherPin is a different type's Pin; the analyzer only matches a type
+// named System.
+type board struct{}
+
+func (board) Pin(x *Tx) {}
+
+func unrelated(b board, tx *Tx) {
+	b.Pin(tx)
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestBfgtsvetCleanOnModule builds cmd/bfgtsvet and runs it as a go vet
+// tool over the whole module, asserting the tree is finding-free. This is
+// the same gate scripts/check.sh applies; a failure here means either a
+// real invariant violation crept in or an analyzer regressed into a false
+// positive on production code.
+func TestBfgtsvetCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds the vet tool and re-typechecks the module; skipped in -short")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	modRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(modRoot, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", modRoot, err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "bfgtsvet")
+	build := exec.Command(goTool, "build", "-o", tool, "./cmd/bfgtsvet")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build bfgtsvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = modRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool=bfgtsvet ./... reported findings: %v\n%s", err, out)
+	}
+}

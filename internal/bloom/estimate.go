@@ -23,11 +23,15 @@ import "math"
 // the filter is saturated (every bit set) the estimate diverges; we return
 // the asymptote capped at m, which is the largest set a filter of m bits
 // can meaningfully witness.
+//
+//bfgts:allocfree
 func (f *Filter) EstimateCardinality() float64 {
 	return f.cardinality(f.pop)
 }
 
 // cardinality is Equation 2 using the filter's precomputed denominator.
+//
+//bfgts:allocfree
 func (f *Filter) cardinality(t int) float64 {
 	if t <= 0 {
 		return 0
@@ -60,6 +64,8 @@ func cardinalityFromPopCount(t, m, k int) float64 {
 // The estimate can be slightly negative when the true intersection is empty
 // (the three estimates carry independent noise); it is clamped at zero
 // because a set cannot have negative size.
+//
+//bfgts:allocfree
 func (f *Filter) EstimateIntersection(other *Filter) float64 {
 	f.mustMatch(other)
 	est := f.cardinality(f.pop) + f.cardinality(other.pop) - f.cardinality(f.UnionPopCount(other))
@@ -94,6 +100,8 @@ func EstimateIntersectionError(a, b *ExactSet, mBits, k int) float64 {
 // caller-provided scratch filters (reset before use), so per-commit
 // profiling does not allocate two filters every call. Both filters must
 // share a geometry.
+//
+//bfgts:allocfree
 func EstimateIntersectionErrorInto(a, b *ExactSet, fa, fb *Filter) float64 {
 	fa.Reset()
 	for key := range a.keys {

@@ -65,6 +65,8 @@ const NoPending = int64(1<<63 - 1)
 // scheduled every intermediate step. (Strictly: an event landing exactly
 // on the horizon gets a fresh sequence number and so fires after the
 // already-pending event, exactly as a newly scheduled event would have.)
+//
+//bfgts:allocfree
 func (e *Engine) PeekTime() int64 {
 	if len(e.events.ev) == 0 {
 		return NoPending
@@ -98,6 +100,8 @@ const (
 // AtHandle schedules a registered handler to run at absolute time t.
 // Scheduling in the past (before Now) panics: it would silently reorder
 // causality.
+//
+//bfgts:allocfree
 func (e *Engine) AtHandle(t int64, h Handle) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
@@ -107,12 +111,16 @@ func (e *Engine) AtHandle(t int64, h Handle) {
 }
 
 // AfterHandle schedules a registered handler d cycles from now.
+//
+//bfgts:allocfree
 func (e *Engine) AfterHandle(d int64, h Handle) {
 	e.AtHandle(e.now+d, h)
 }
 
 // AtArgHandle schedules a registered argument-taking handler at absolute
 // time t, with arg snapshotted into the event.
+//
+//bfgts:allocfree
 func (e *Engine) AtArgHandle(t int64, h ArgHandle, arg uint64) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
@@ -123,6 +131,8 @@ func (e *Engine) AtArgHandle(t int64, h ArgHandle, arg uint64) {
 
 // AfterArgHandle schedules a registered argument-taking handler d cycles
 // from now.
+//
+//bfgts:allocfree
 func (e *Engine) AfterArgHandle(d int64, h ArgHandle, arg uint64) {
 	e.AtArgHandle(e.now+d, h, arg)
 }
@@ -130,6 +140,8 @@ func (e *Engine) AfterArgHandle(d int64, h ArgHandle, arg uint64) {
 // At schedules fn to run at absolute time t via a recycled one-shot slot.
 // Steady-state cost matches handle scheduling except for one pointer
 // store; hot paths should still prefer registered handles.
+//
+//bfgts:allocfree
 func (e *Engine) At(t int64, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
@@ -148,6 +160,8 @@ func (e *Engine) At(t int64, fn func()) {
 }
 
 // After schedules fn to run d cycles from now. Negative delays panic.
+//
+//bfgts:allocfree
 func (e *Engine) After(d int64, fn func()) {
 	e.At(e.now+d, fn)
 }
@@ -155,6 +169,8 @@ func (e *Engine) After(d int64, fn func()) {
 // AfterArg schedules fn(arg) to run d cycles from now, carrying the
 // argument in the event so callers can reuse one long-lived closure for
 // events that must snapshot a value at schedule time.
+//
+//bfgts:allocfree
 func (e *Engine) AfterArg(d int64, fn func(uint64), arg uint64) {
 	t := e.now + d
 	if t < e.now {
@@ -175,6 +191,8 @@ func (e *Engine) AfterArg(d int64, fn func(uint64), arg uint64) {
 
 // Step fires the next event, if any, advancing time to it. It reports
 // whether an event was fired.
+//
+//bfgts:allocfree
 func (e *Engine) Step() bool {
 	if len(e.events.ev) == 0 {
 		return false
@@ -242,6 +260,8 @@ func (h *eventHeap) less(i, j int) bool {
 }
 
 // push inserts an event and sifts it up.
+//
+//bfgts:allocfree
 func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
@@ -256,6 +276,8 @@ func (h *eventHeap) push(e event) {
 }
 
 // pop removes and returns the minimum event.
+//
+//bfgts:allocfree
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	n := len(h.ev) - 1

@@ -262,6 +262,11 @@ func (s *ctxScratch) release() {
 		s.predWaits[i] = nil
 	}
 	s.predWaits = s.predWaits[:0]
+	// Recycled sets are reset and therefore interchangeable: the free
+	// list's order never reaches an output, so the map's iteration order
+	// cannot break byte-identical results (sync.Pool handout order is
+	// already nondeterministic one level up).
+	//bfgts:ignore determinism recycled sets are value-identical after Reset
 	for stx, set := range s.prevSet {
 		set.Reset()
 		s.setFree = append(s.setFree, set)
@@ -513,6 +518,7 @@ func (r *Runner) recordPredWait(ctx *threadCtx, waitDTx int) {
 		// Pin: the waited-on transaction usually finishes before this
 		// execution commits, and its pooled storage must not be recycled
 		// while the classifier still holds the pointer.
+		//bfgts:pin-handoff classifyPredWaits unpins every predWaits entry at commit
 		r.sys.Pin(wtx)
 		ctx.predWaits = append(ctx.predWaits, wtx)
 	}

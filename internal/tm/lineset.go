@@ -29,7 +29,11 @@ func lineHash(addr uint64) uint64 {
 // len returns the number of distinct addresses in the set.
 func (s *lineSet) len() int { return s.n }
 
-// add inserts addr and reports whether it was not already present.
+// add inserts addr and reports whether it was not already present. The
+// spill/grow slow paths allocate by design (amortized, capacity kept by
+// reset) and stay unannotated.
+//
+//bfgts:allocfree
 func (s *lineSet) add(addr uint64) bool {
 	if s.table == nil {
 		for i := 0; i < s.n; i++ {
@@ -75,6 +79,8 @@ func (s *lineSet) add(addr uint64) bool {
 }
 
 // has reports whether addr is in the set.
+//
+//bfgts:allocfree
 func (s *lineSet) has(addr uint64) bool {
 	if s.table == nil {
 		for i := 0; i < s.n; i++ {
@@ -140,6 +146,8 @@ func (s *lineSet) insertNoCheck(addr uint64) {
 // each calls fn for every address in the set. Inline sets iterate in
 // insertion order, spilled sets in slot order; callers must not depend on
 // the order (the previous map-backed implementation already randomized it).
+//
+//bfgts:allocfree
 func (s *lineSet) each(fn func(addr uint64)) {
 	if s.table == nil {
 		for i := 0; i < s.n; i++ {
@@ -159,6 +167,8 @@ func (s *lineSet) each(fn func(addr uint64)) {
 
 // appendTo appends every address to buf and returns it, allocating only if
 // buf lacks capacity.
+//
+//bfgts:allocfree
 func (s *lineSet) appendTo(buf []uint64) []uint64 {
 	if s.table == nil {
 		return append(buf, s.small[:s.n]...)
@@ -176,6 +186,8 @@ func (s *lineSet) appendTo(buf []uint64) []uint64 {
 
 // intersects reports whether the two sets share any address, probing the
 // larger set with the smaller one's elements.
+//
+//bfgts:allocfree
 func (s *lineSet) intersects(o *lineSet) bool {
 	a, b := s, o
 	if a.n > b.n {
@@ -204,6 +216,8 @@ func (s *lineSet) intersects(o *lineSet) bool {
 }
 
 // reset empties the set, keeping any spilled table's capacity for reuse.
+//
+//bfgts:allocfree
 func (s *lineSet) reset() {
 	s.n = 0
 	s.hasZero = false

@@ -164,6 +164,8 @@ func NewSystem(nStatic int) *System {
 // may only have one active transaction at a time. The returned Tx may be a
 // recycled object from an earlier attempt; pointers to it are only stable
 // until its release unless pinned.
+//
+//bfgts:allocfree
 func (s *System) Begin(thread, stx, dtx int) *Tx {
 	if _, dup := s.active[dtx]; dup {
 		panic(fmt.Sprintf("tm: dtx %d already active", dtx))
@@ -178,6 +180,7 @@ func (s *System) Begin(thread, stx, dtx int) *Tx {
 		tx.writes.reset()
 		*tx = Tx{reads: tx.reads, writes: tx.writes}
 	} else {
+		//bfgts:ignore allocfree pool miss; steady state reuses txFree
 		tx = &Tx{}
 	}
 	tx.DTx = dtx
@@ -195,6 +198,8 @@ func (s *System) Pin(tx *Tx) { tx.pins++ }
 
 // Unpin drops one pin; the last Unpin of a released transaction returns its
 // storage to the free list.
+//
+//bfgts:allocfree
 func (s *System) Unpin(tx *Tx) {
 	tx.pins--
 	if tx.pins == 0 && tx.released {
@@ -222,6 +227,8 @@ func (s *System) Aborts() int64 { return s.aborts }
 func (s *System) ConflictMatrix() [][]int64 { return s.conflicts }
 
 // Access performs a transactional read or write of a cache line.
+//
+//bfgts:allocfree
 func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
 	if tx.Doomed {
 		return AccessResult{}
@@ -252,6 +259,7 @@ func (s *System) Access(tx *Tx, addr uint64, write bool) AccessResult {
 			s.lineFree[n-1] = nil
 			s.lineFree = s.lineFree[:n-1]
 		} else {
+			//bfgts:ignore allocfree pool miss; steady state reuses lineFree
 			ln = &line{}
 		}
 		s.lines[addr] = ln
@@ -341,6 +349,8 @@ func (s *System) findCycleVictim(req *Tx) *Tx {
 }
 
 // Commit finishes a transaction successfully, releasing its isolation.
+//
+//bfgts:allocfree
 func (s *System) Commit(tx *Tx) {
 	if tx.Doomed {
 		panic("tm: committing a doomed transaction")
@@ -351,11 +361,14 @@ func (s *System) Commit(tx *Tx) {
 
 // Abort finishes a rolled-back transaction, releasing its isolation. The
 // runner calls this after charging the rollback cost.
+//
+//bfgts:allocfree
 func (s *System) Abort(tx *Tx) {
 	s.aborts++
 	s.release(tx)
 }
 
+//bfgts:allocfree
 func (s *System) release(tx *Tx) {
 	tx.writes.each(func(addr uint64) {
 		if ln := s.lines[addr]; ln != nil && ln.writer == tx {
@@ -395,6 +408,8 @@ func (s *System) release(tx *Tx) {
 
 // retireLine removes a drained directory entry and recycles it, keeping the
 // readers slice's capacity.
+//
+//bfgts:allocfree
 func (s *System) retireLine(addr uint64, ln *line) {
 	delete(s.lines, addr)
 	ln.writer = nil

@@ -13,13 +13,19 @@ if [ -n "$unformatted" ]; then
 	echo "$unformatted" >&2
 	exit 1
 fi
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
 go vet ./...
 go build ./...
+# Static-analysis gate: build the repo's own vet tool and run the analyzer
+# suite (determinism, allocfree, pinpair, metricshoist) over the module.
+# See internal/analysis/README.md for the contracts and //bfgts: directives.
+go build -o "$workdir/bfgtsvet" ./cmd/bfgtsvet
+go vet -vettool="$workdir/bfgtsvet" ./...
 go test -race "$@" ./...
 # Machine-readable output round trip: generate a small export and parse it
 # back through the schema.
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp="$workdir/export.json"
 go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -json-out "$tmp" >/dev/null
 go run ./scripts/jsonverify "$tmp"
 # Bench smoke: compile and run each hot-path microbenchmark once. The
