@@ -1,12 +1,20 @@
-// Command stmbench microbenchmarks the real (goroutine-based) STM under
-// each contention manager, on the two canonical behaviors from the paper's
-// motivation: a low-similarity hash-set insert workload (transient
-// conflicts) and a high-similarity hot-counter workload (persistent
-// conflicts).
+// Command stmbench benchmarks the real (goroutine-based) STM head-to-head
+// under each contention manager — exponential backoff, ATS, and BFGTS — on
+// the canonical behaviors from the paper's motivation: a high-similarity
+// hot-counter workload (persistent conflicts), a low-similarity uniform
+// hash-set workload (transient conflicts), and a Zipf-skewed transfer
+// workload whose head keys concentrate contention the way real caches and
+// order books do.
+//
+// For every (workload, scheduler, worker-count) cell it reports commit
+// throughput, abort rate, and per-transaction latency (mean/p50/p99 from a
+// log-scaled histogram), and can emit the whole sweep as a schema-v1 JSON
+// export (the same format bfgts-sim emits, verified by scripts/jsonverify).
 //
 // Usage:
 //
-//	stmbench [-workers 8] [-ops 20000] [-workload counter|hashset|mixed]
+//	stmbench [-workers 2,4,8] [-ops 5000] [-workloads counter,zipf]
+//	         [-keys 256] [-zipf-s 1.2] [-seed 1] [-json-out FILE] [-quiet]
 //
 // Note: meaningful contention requires real hardware parallelism
 // (GOMAXPROCS > 1); on a single CPU, goroutines rarely overlap.
@@ -16,103 +24,253 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/harness"
+	"repro/internal/stats"
 	"repro/internal/stm"
 )
 
+var schedulers = []stm.SchedulerKind{stm.SchedBackoff, stm.SchedATS, stm.SchedBFGTS}
+
 func main() {
-	workers := flag.Int("workers", 8, "concurrent workers")
-	ops := flag.Int("ops", 20000, "operations per worker")
-	workload := flag.String("workload", "mixed", "counter | hashset | mixed")
+	workersCSV := flag.String("workers", "2,4,8", "comma-separated worker counts to sweep")
+	ops := flag.Int("ops", 5000, "transactions per worker per cell")
+	workloadsCSV := flag.String("workloads", "counter,zipf", "comma-separated workloads: counter|hashset|zipf")
+	keys := flag.Int("keys", 256, "distinct keys for the hashset and zipf workloads")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf skew exponent (>1) for the zipf workload")
+	seed := flag.Uint64("seed", 1, "base seed for the per-worker key streams")
+	jsonOut := flag.String("json-out", "", "write the sweep as schema-v1 JSON to this file")
+	quiet := flag.Bool("quiet", false, "suppress the text tables (JSON output only)")
 	flag.Parse()
 
-	kinds := []struct {
-		kind stm.SchedulerKind
-		name string
-	}{
-		{stm.SchedBackoff, "Backoff"},
-		{stm.SchedATS, "ATS"},
-		{stm.SchedBFGTS, "BFGTS-SW"},
+	workerCounts, err := parseWorkers(*workersCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(2)
+	}
+	workloads := strings.Split(*workloadsCSV, ",")
+	for _, wl := range workloads {
+		if wl != "counter" && wl != "hashset" && wl != "zipf" {
+			fmt.Fprintf(os.Stderr, "stmbench: unknown workload %q\n", wl)
+			os.Exit(2)
+		}
+	}
+	if *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "stmbench: -zipf-s must be > 1")
+		os.Exit(2)
 	}
 
-	fmt.Printf("%-10s %-10s %10s %10s %10s %12s\n",
-		"workload", "scheduler", "ops", "aborts", "cont%", "throughput")
-	for _, k := range kinds {
-		switch *workload {
-		case "counter":
-			report("counter", k.name, runCounter(k.kind, *workers, *ops))
-		case "hashset":
-			report("hashset", k.name, runHashset(k.kind, *workers, *ops))
-		default:
-			report("counter", k.name, runCounter(k.kind, *workers, *ops))
-			report("hashset", k.name, runHashset(k.kind, *workers, *ops))
+	var reports []*harness.Report
+	for _, wl := range workloads {
+		rep := &harness.Report{
+			ID:    "stm-" + wl,
+			Title: fmt.Sprintf("STM contention managers on the %s workload (%d ops/worker)", wl, *ops),
+			Columns: []string{"scheduler", "workers", "commits", "aborts",
+				"abort_rate", "throughput_ops_s", "mean_us", "p50_us", "p99_us"},
+			Values: map[string]float64{},
+			Notes: []string{
+				fmt.Sprintf("keys=%d zipf_s=%.2f seed=%d", *keys, *zipfS, *seed),
+				"latency percentiles are log-histogram upper bounds (factor-of-2 precision)",
+			},
+		}
+		if !*quiet {
+			fmt.Printf("## %s\n", rep.Title)
+			fmt.Printf("%-10s %8s %10s %10s %8s %12s %9s %9s %9s\n",
+				"scheduler", "workers", "commits", "aborts", "abort%", "ops/s", "mean(us)", "p50(us)", "p99(us)")
+		}
+		for _, kind := range schedulers {
+			for _, w := range workerCounts {
+				res := runCell(wl, kind, w, *ops, *keys, *zipfS, *seed)
+				addRow(rep, kind, w, res)
+				if !*quiet {
+					printRow(kind, w, res)
+				}
+			}
+		}
+		if !*quiet {
+			fmt.Println()
+		}
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut != "" {
+		cfg := harness.Config{
+			Cores:          runtime.NumCPU(),
+			ThreadsPerCore: 1,
+			Seed:           *seed,
+			Scale:          1,
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		if err := harness.NewExport(cfg, reports).EncodeJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *jsonOut)
 		}
 	}
 }
 
-type outcome struct {
+func parseWorkers(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// cellResult is one (workload, scheduler, workers) measurement.
+type cellResult struct {
 	commits, aborts int64
 	elapsed         time.Duration
+	lat             stats.Histogram // per-transaction wall latency, ns
 }
 
-func report(workload, scheduler string, o outcome) {
-	cont := 0.0
-	if o.commits+o.aborts > 0 {
-		cont = 100 * float64(o.aborts) / float64(o.commits+o.aborts)
+func (r *cellResult) abortRate() float64 {
+	if r.commits+r.aborts == 0 {
+		return 0
 	}
-	fmt.Printf("%-10s %-10s %10d %10d %9.1f%% %9.0f/ms\n",
-		workload, scheduler, o.commits, o.aborts, cont,
-		float64(o.commits)/float64(o.elapsed.Milliseconds()+1))
+	return float64(r.aborts) / float64(r.commits+r.aborts)
 }
 
-// runCounter hammers one hot counter: persistent self-conflict.
-func runCounter(kind stm.SchedulerKind, workers, ops int) outcome {
+func (r *cellResult) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.commits) / r.elapsed.Seconds()
+}
+
+func addRow(rep *harness.Report, kind stm.SchedulerKind, workers int, r cellResult) {
+	rep.Rows = append(rep.Rows, []string{
+		kind.String(),
+		strconv.Itoa(workers),
+		strconv.FormatInt(r.commits, 10),
+		strconv.FormatInt(r.aborts, 10),
+		strconv.FormatFloat(r.abortRate(), 'f', 4, 64),
+		strconv.FormatFloat(r.throughput(), 'f', 0, 64),
+		strconv.FormatFloat(r.lat.Mean()/1e3, 'f', 1, 64),
+		strconv.FormatFloat(float64(r.lat.Percentile(50))/1e3, 'f', 1, 64),
+		strconv.FormatFloat(float64(r.lat.Percentile(99))/1e3, 'f', 1, 64),
+	})
+	key := fmt.Sprintf("%s/w%d/", kind, workers)
+	rep.Values[key+"throughput_ops_s"] = r.throughput()
+	rep.Values[key+"abort_rate"] = r.abortRate()
+	rep.Values[key+"p99_us"] = float64(r.lat.Percentile(99)) / 1e3
+}
+
+func printRow(kind stm.SchedulerKind, workers int, r cellResult) {
+	fmt.Printf("%-10s %8d %10d %10d %7.1f%% %12.0f %9.1f %9.1f %9.1f\n",
+		kind, workers, r.commits, r.aborts, 100*r.abortRate(), r.throughput(),
+		r.lat.Mean()/1e3, float64(r.lat.Percentile(50))/1e3, float64(r.lat.Percentile(99))/1e3)
+}
+
+// runCell executes one workload cell: `workers` goroutines each running
+// `ops` transactions under the given contention manager, measuring the
+// wall latency of every Atomic call in a per-worker histogram.
+func runCell(workload string, kind stm.SchedulerKind, workers, ops, keys int, zipfS float64, seed uint64) cellResult {
 	sys := stm.NewSystem(stm.Config{Workers: workers, StaticTxs: 1, Scheduler: kind})
-	counter := stm.NewTVar(0)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < ops; i++ {
+
+	// txFor builds the per-worker transaction stream for the workload. The
+	// returned func runs one operation (one Atomic call) per invocation.
+	var txFor func(w int) func()
+	switch workload {
+	case "counter":
+		// One hot counter: every transaction conflicts with every other,
+		// and consecutive transactions by one worker are near-identical
+		// (the paper's high-similarity, persistent-conflict regime).
+		counter := stm.NewTVar(0)
+		txFor = func(w int) func() {
+			return func() {
 				_ = sys.Atomic(w, 0, func(tx *stm.Tx) error {
 					counter.Write(tx, counter.Read(tx)+1)
 					return nil
 				})
 			}
-		}(w)
+		}
+	case "hashset":
+		// Uniform single-key increments across many buckets: conflicts are
+		// rare and transient (the hash-table regime of Section 3.1).
+		set := newTVars(keys)
+		txFor = func(w int) func() {
+			rng := rand.New(rand.NewSource(int64(seed) + int64(w)))
+			return func() {
+				b := rng.Intn(keys)
+				_ = sys.Atomic(w, 0, func(tx *stm.Tx) error {
+					set[b].Write(tx, set[b].Read(tx)+1)
+					return nil
+				})
+			}
+		}
+	case "zipf":
+		// Zipf-skewed transfers: each transaction moves a unit between two
+		// keys drawn from a Zipf distribution, so a handful of head keys
+		// see persistent conflicts while the tail stays almost private.
+		accts := newTVars(keys)
+		txFor = func(w int) func() {
+			rng := rand.New(rand.NewSource(int64(seed) + int64(w)))
+			z := rand.NewZipf(rng, zipfS, 1, uint64(keys-1))
+			return func() {
+				from, to := int(z.Uint64()), int(z.Uint64())
+				_ = sys.Atomic(w, 0, func(tx *stm.Tx) error {
+					bf := accts[from].Read(tx)
+					accts[from].Write(tx, bf-1)
+					if to != from {
+						accts[to].Write(tx, accts[to].Read(tx)+1)
+					}
+					return nil
+				})
+			}
+		}
 	}
-	wg.Wait()
-	return outcome{sys.Commits(), sys.Aborts(), time.Since(start)}
-}
 
-// runHashset inserts random keys into many buckets: transient conflicts.
-func runHashset(kind stm.SchedulerKind, workers, ops int) outcome {
-	const buckets = 128
-	sys := stm.NewSystem(stm.Config{Workers: workers, StaticTxs: 1, Scheduler: kind})
-	set := make([]*stm.TVar[int], buckets)
-	for i := range set {
-		set[i] = stm.NewTVar(0)
-	}
+	hists := make([]stats.Histogram, workers)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)))
+			op := txFor(w)
+			h := &hists[w]
 			for i := 0; i < ops; i++ {
-				b := rng.Intn(buckets)
-				_ = sys.Atomic(w, 0, func(tx *stm.Tx) error {
-					set[b].Write(tx, set[b].Read(tx)+1)
-					return nil
-				})
+				t0 := time.Now()
+				op()
+				h.Add(time.Since(t0).Nanoseconds())
 			}
 		}(w)
 	}
 	wg.Wait()
-	return outcome{sys.Commits(), sys.Aborts(), time.Since(start)}
+
+	res := cellResult{commits: sys.Commits(), aborts: sys.Aborts(), elapsed: time.Since(start)}
+	for w := range hists {
+		res.lat.Merge(&hists[w])
+	}
+	return res
+}
+
+func newTVars(n int) []*stm.TVar[int] {
+	vs := make([]*stm.TVar[int], n)
+	for i := range vs {
+		vs[i] = stm.NewTVar(0)
+	}
+	return vs
 }

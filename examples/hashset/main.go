@@ -73,7 +73,7 @@ func main() {
 	fmt.Printf("set size: %d (counter says %d)\n", count, size.Peek())
 	fmt.Printf("commits: %d, aborts: %d\n", sys.Commits(), sys.Aborts())
 	fmt.Printf("measured similarity of the insert block (worker 0): %.3f — transient conflicts\n",
-		sys.Runtime().Similarity(0))
+		sys.Similarity(0))
 	if count != size.Peek() {
 		panic("size counter out of sync with buckets")
 	}

@@ -79,7 +79,7 @@ func run(kind stm.SchedulerKind, name string) {
 	wg.Wait()
 
 	fmt.Printf("%-8s consumed %d items, commits %d, aborts %d, enqueue similarity %.2f\n",
-		name, consumed.Peek(), sys.Commits(), sys.Aborts(), sys.Runtime().Similarity(0))
+		name, consumed.Peek(), sys.Commits(), sys.Aborts(), sys.Similarity(0))
 }
 
 func main() {

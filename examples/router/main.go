@@ -3,9 +3,10 @@
 // entire path of grid cells, so read/write sets run to dozens of entries
 // and two routes conflict exactly when their paths cross.
 //
-// The example routes a batch of nets on a 2-D grid, retrying crossed
-// paths with a detour, and verifies that the final grid contains only
-// non-overlapping paths.
+// The example routes the same batch of nets under each contention manager
+// (exponential backoff, ATS, BFGTS) so the schedulers can be compared
+// head-to-head on large transactions, and verifies after every run that
+// the grid contains only non-overlapping paths.
 //
 //	go run ./examples/router
 package main
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/stm"
 )
@@ -27,10 +29,22 @@ const (
 )
 
 func main() {
+	fmt.Printf("routing %d nets (%d workers x %d) on a %dx%d grid\n\n",
+		workers*nets, workers, nets, gridW, gridH)
+	fmt.Printf("%-10s %8s %8s %8s %9s %11s %6s\n",
+		"scheduler", "routed", "commits", "aborts", "footprint", "similarity", "ms")
+	for _, kind := range []stm.SchedulerKind{stm.SchedBackoff, stm.SchedATS, stm.SchedBFGTS} {
+		routeAll(kind)
+	}
+}
+
+// routeAll routes the full batch of nets under one contention manager and
+// verifies the resulting grid.
+func routeAll(kind stm.SchedulerKind) {
 	sys := stm.NewSystem(stm.Config{
 		Workers:   workers,
 		StaticTxs: 1,
-		Scheduler: stm.SchedBFGTS,
+		Scheduler: kind,
 		BloomBits: 4096, // large transactions tolerate large filters (Fig. 6)
 	})
 
@@ -40,6 +54,7 @@ func main() {
 	}
 
 	routed := make([][]int, workers)
+	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -75,6 +90,7 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
 	// Verify: every claimed cell belongs to exactly one net.
 	cellsPerNet := map[int]int{}
@@ -87,11 +103,9 @@ func main() {
 	for w := range routed {
 		total += len(routed[w])
 	}
-	fmt.Printf("routed %d/%d nets on a %dx%d grid\n", total, workers*nets, gridW, gridH)
-	fmt.Printf("distinct nets on grid: %d, commits %d, aborts %d\n",
-		len(cellsPerNet), sys.Commits(), sys.Aborts())
-	fmt.Printf("router transaction avg footprint: %.1f TVars, similarity %.2f\n",
-		sys.Runtime().AvgSize(0), sys.Runtime().Similarity(0))
+	fmt.Printf("%-10s %8d %8d %8d %9.1f %11.2f %6d\n",
+		kind, total, sys.Commits(), sys.Aborts(),
+		sys.AvgSize(0), sys.Similarity(0), elapsed.Milliseconds())
 	if len(cellsPerNet) != total {
 		panic("grid contains nets that were not reported as routed")
 	}

@@ -30,6 +30,13 @@ var gateEntryPoints = map[string][]string{
 		"EstimateCardinality", "EstimateIntersection",
 		"EstimateIntersectionErrorInto",
 	},
+	"stm": { // TestReadOnlyPathAllocFree / TestAbortRetryPathAllocFree / TestCommitPathAllocs
+		"read", "write", "commit", "reset", "commitFail", "writeSetHas",
+		"readVersionOf", "lookupRead", "lookupWrite", "appendRead",
+		"appendWrite", "sortWrites", "commitBookkeeping",
+		"OnBegin", "OnAbort", "OnCommit", "predict", "suspend", "stallOn",
+		"republish", "validate", "backoff", "jitter", "enemyDTx",
+	},
 }
 
 // TestAllocFreeMarkersMatchRuntimeGates fails when a runtime-gated hot-path

@@ -1,0 +1,218 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// AtomicFilter is a Bloom filter whose words are accessed with atomic
+// word-level operations, for signatures that live on a concurrency
+// boundary: one goroutine rebuilds the signature at commit time while
+// other goroutines probe it for begin-time prediction or commit-time
+// validation, with no lock on either side.
+//
+// This is the software rendering of the paper's snooped per-CPU signature
+// registers: readers may observe a signature mid-rebuild (a torn mix of
+// old and new words). That is acceptable by construction — every consumer
+// is a heuristic (similarity, overlap significance) whose wrong answer
+// costs a suboptimal scheduling decision, never a correctness violation —
+// and because every access is a word-sized atomic, torn reads are still
+// data-race-free under the Go memory model.
+//
+// Unlike *Filter, the population count is maintained with atomic
+// increments by Add and re-derived by Reset, so concurrent probes see a
+// count consistent enough for the Eq. 2/3 estimators.
+type AtomicFilter struct {
+	words []atomic.Uint64
+	m     uint64 // size in bits; power of two
+	k     uint64 // number of hash functions
+	pop   atomic.Int64
+	den   float64 // precomputed Eq. 2 denominator k·ln(1−1/m)
+}
+
+// NewAtomicFilter returns an empty atomic filter of mBits bits using k
+// hash functions. mBits must be a power of two and at least 64; k must be
+// at least 1.
+func NewAtomicFilter(mBits, k int) *AtomicFilter {
+	if mBits < 64 || mBits&(mBits-1) != 0 {
+		panic(fmt.Sprintf("bloom: filter size %d is not a power of two >= 64", mBits))
+	}
+	if k < 1 {
+		panic("bloom: need at least one hash function")
+	}
+	return &AtomicFilter{
+		words: make([]atomic.Uint64, mBits/64),
+		m:     uint64(mBits),
+		k:     uint64(k),
+		den:   float64(k) * math.Log1p(-1/float64(mBits)),
+	}
+}
+
+// Bits returns the filter size in bits (the paper's m).
+func (f *AtomicFilter) Bits() int { return int(f.m) }
+
+// Hashes returns the number of hash functions (the paper's k).
+func (f *AtomicFilter) Hashes() int { return int(f.k) }
+
+// Words returns the number of 64-bit words backing the filter.
+func (f *AtomicFilter) Words() int { return len(f.words) }
+
+// Add inserts a key with one atomic read-modify-write per hash,
+// maintaining the population count from the observed pre-image.
+//
+// The RMW is a hand-rolled compare-and-swap rather than the natural
+// atomic.Uint64.Or: go1.24.0's amd64 lowering of the Or-with-result
+// intrinsic clobbers the register holding the receiver, so a following
+// field access (f.pop here) dereferences the OR'd value and faults. The
+// CAS loop also lets Add skip the write entirely when the bits are
+// already set — the common case for a filter under repeated keys.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) Add(key uint64) {
+	h1, h2 := hashPair(key)
+	for i := uint64(0); i < f.k; i++ {
+		bit := (h1 + i*h2) & (f.m - 1)
+		mask := uint64(1) << (bit & 63)
+		w := &f.words[bit>>6]
+		for {
+			old := w.Load()
+			if old&mask != 0 {
+				break
+			}
+			if w.CompareAndSwap(old, old|mask) {
+				f.pop.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// Test reports whether a key may be present. False positives are possible,
+// false negatives are not (for keys whose Add fully completed).
+//
+//bfgts:allocfree
+func (f *AtomicFilter) Test(key uint64) bool {
+	h1, h2 := hashPair(key)
+	for i := uint64(0); i < f.k; i++ {
+		bit := (h1 + i*h2) & (f.m - 1)
+		if f.words[bit>>6].Load()&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter word by word. Concurrent probes may observe the
+// partially cleared state; see the type comment for why that is safe.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) Reset() {
+	for i := range f.words {
+		f.words[i].Store(0)
+	}
+	f.pop.Store(0)
+}
+
+// PopCount returns the number of set bits as maintained by Add.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) PopCount() int { return int(f.pop.Load()) }
+
+// UnionPopCount streams the popcount of the bitwise OR of the two filters
+// without materializing it.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) UnionPopCount(o *AtomicFilter) int {
+	f.mustMatch(o)
+	n := 0
+	for i := range f.words {
+		n += bits.OnesCount64(f.words[i].Load() | o.words[i].Load())
+	}
+	return n
+}
+
+// EstimateCardinality implements Equation 2 for this filter.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) EstimateCardinality() float64 {
+	return f.cardinality(f.PopCount())
+}
+
+// cardinality is Equation 2 using the filter's precomputed denominator.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) cardinality(t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= int(f.m) {
+		return float64(f.m)
+	}
+	return math.Log1p(-float64(t)/float64(f.m)) / f.den
+}
+
+// EstimateIntersection implements Equation 3 between two atomic filters,
+// clamped at zero like (*Filter).EstimateIntersection.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) EstimateIntersection(o *AtomicFilter) float64 {
+	f.mustMatch(o)
+	est := f.cardinality(f.PopCount()) + f.cardinality(o.PopCount()) -
+		f.cardinality(f.UnionPopCount(o))
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// OverlapSignificant is the usable form of the paper's null-intersection
+// test: the Eq. 3 estimate must clear the bias and noise floor a disjoint
+// pair of these popcounts would produce. The decision rule is identical to
+// (*Filter).OverlapSignificant.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) OverlapSignificant(o *AtomicFilter) bool {
+	f.mustMatch(o)
+	m := float64(f.m)
+	k := float64(f.k)
+	t1 := float64(f.PopCount())
+	t2 := float64(o.PopCount())
+	if t1 == 0 || t2 == 0 {
+		return false
+	}
+	est := f.EstimateIntersection(o)
+
+	tUnionDisjoint := t1 + t2 - t1*t2/m
+	bias := f.cardinality(int(t1)) +
+		f.cardinality(int(t2)) -
+		f.cardinality(int(tUnionDisjoint+0.5))
+	if bias < 0 {
+		bias = 0
+	}
+	fill := tUnionDisjoint / m
+	if fill > 0.99 {
+		fill = 0.99
+	}
+	sd := math.Sqrt(t1*t2/m) / (k * (1 - fill))
+	return est >= bias+0.5+0.5*sd
+}
+
+// Similarity is Equation 4 against a previous execution's signature,
+// normalized by the historical average read/write-set size.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) Similarity(prev *AtomicFilter, avgSetSize float64) float64 {
+	if avgSetSize <= 0 {
+		return 0
+	}
+	return clamp01(f.EstimateIntersection(prev) / avgSetSize)
+}
+
+func (f *AtomicFilter) mustMatch(o *AtomicFilter) {
+	if f.m != o.m || f.k != o.k {
+		panic(fmt.Sprintf("bloom: mismatched atomic filter geometry (%d/%d bits, %d/%d hashes)",
+			f.m, o.m, f.k, o.k))
+	}
+}

@@ -1,0 +1,105 @@
+package bloom
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtomicFilterMatchesFilter pins the atomic filter's estimators to the
+// plain filter's: same geometry, same keys, same popcounts and Eq. 2/3
+// values, so the STM's concurrent signatures predict exactly like the
+// simulator's sequential ones.
+func TestAtomicFilterMatchesFilter(t *testing.T) {
+	const mBits, k = 1024, 4
+	af, bf := NewAtomicFilter(mBits, k), NewFilter(mBits, k)
+	af2, bf2 := NewAtomicFilter(mBits, k), NewFilter(mBits, k)
+	for i := uint64(0); i < 60; i++ {
+		af.Add(i * 64)
+		bf.Add(i * 64)
+	}
+	for i := uint64(30); i < 90; i++ {
+		af2.Add(i * 64)
+		bf2.Add(i * 64)
+	}
+	if af.PopCount() != bf.PopCount() || af2.PopCount() != bf2.PopCount() {
+		t.Fatalf("popcounts diverge: atomic %d/%d vs plain %d/%d",
+			af.PopCount(), af2.PopCount(), bf.PopCount(), bf2.PopCount())
+	}
+	if got, want := af.EstimateCardinality(), bf.EstimateCardinality(); got != want {
+		t.Fatalf("EstimateCardinality = %v, want %v", got, want)
+	}
+	if got, want := af.EstimateIntersection(af2), bf.EstimateIntersection(bf2); got != want {
+		t.Fatalf("EstimateIntersection = %v, want %v", got, want)
+	}
+	if got, want := af.OverlapSignificant(af2), bf.OverlapSignificant(bf2); got != want {
+		t.Fatalf("OverlapSignificant = %v, want %v", got, want)
+	}
+	if got, want := af.Similarity(af2, 60), bf.Similarity(bf2, 60); got != want {
+		t.Fatalf("Similarity = %v, want %v", got, want)
+	}
+	for i := uint64(0); i < 60; i++ {
+		if !af.Test(i * 64) {
+			t.Fatalf("key %d lost", i*64)
+		}
+	}
+}
+
+func TestAtomicFilterReset(t *testing.T) {
+	f := NewAtomicFilter(256, 2)
+	f.Add(7)
+	f.Add(99)
+	if f.PopCount() == 0 {
+		t.Fatal("Add set no bits")
+	}
+	f.Reset()
+	if f.PopCount() != 0 {
+		t.Fatalf("PopCount after Reset = %d", f.PopCount())
+	}
+	if f.Test(7) {
+		t.Fatal("Reset did not clear key 7")
+	}
+}
+
+// TestAtomicFilterConcurrent exercises the concurrency contract under the
+// race detector: many writers Add while readers probe and estimate. The
+// assertions are deliberately weak (the whole point of the type is that
+// torn intermediate states are tolerated); the value of the test is that
+// -race proves every access is atomic.
+func TestAtomicFilterConcurrent(t *testing.T) {
+	f := NewAtomicFilter(2048, 4)
+	other := NewAtomicFilter(2048, 4)
+	for i := uint64(0); i < 40; i++ {
+		other.Add(i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < 200; i++ {
+				f.Add(uint64(w)<<32 | i)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = f.Test(uint64(i))
+				_ = f.EstimateIntersection(other)
+				_ = f.OverlapSignificant(other)
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles, the maintained popcount must equal the
+	// ground-truth bit count.
+	n := 0
+	for i := range f.words {
+		w := f.words[i].Load()
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	if f.PopCount() != n {
+		t.Fatalf("maintained popcount %d != actual set bits %d", f.PopCount(), n)
+	}
+}

@@ -12,8 +12,6 @@
 // single-threaded and event ties break on insertion order.
 package sim
 
-import "time"
-
 // Handle names a long-lived func() registered with an engine via
 // Register. Scheduling by handle keeps the event heap free of pointers,
 // so sift operations are plain memmoves with no GC write barriers — the
@@ -303,5 +301,3 @@ func (h *eventHeap) pop() event {
 	}
 	return top
 }
-
-func detProbe() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,114 @@
+package stm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// atsManager is Adaptive Transaction Scheduling (Yoo & Lee, SPAA 2008)
+// adapted to the real STM: each dynamic transaction carries a contention
+// intensity EWMA ("pressure") bumped on abort and decayed on commit; a
+// beginning transaction whose pressure exceeds the threshold serializes —
+// here, by sleeping until the pressured peers drain — instead of piling
+// optimistically onto a contended phase.
+//
+// Pressure is stored as 16.16 fixed point in per-dtx atomic cells updated
+// by compare-and-swap, so begin-time checks are plain atomic loads.
+type atsManager struct {
+	sys       *System
+	threshold int64 // fixed-point pressure threshold
+	pressure  []atomic.Int64
+}
+
+// pressureScale is 1.0 of pressure in fixed point.
+const pressureScale = 1 << 16
+
+// atsAlpha is the EWMA weight of history in a pressure update.
+const atsAlpha = 0.7
+
+func newATSManager(s *System) *atsManager {
+	return &atsManager{
+		sys:       s,
+		threshold: int64(s.cfg.PressureThreshold * pressureScale),
+		pressure:  make([]atomic.Int64, s.cfg.Workers*s.cfg.StaticTxs),
+	}
+}
+
+func (m *atsManager) Name() string { return "ATS" }
+
+// OnBegin throttles: while this transaction's own pressure is past the
+// threshold and some other running transaction is also pressured, the
+// worker sleeps — the ATS serialization queue rendered as backoff.
+//
+//bfgts:allocfree
+func (m *atsManager) OnBegin(worker, stx, dtx, attempt int) {
+	w := &m.sys.workers[worker]
+	for m.pressure[dtx].Load() > m.threshold && m.pressuredPeer(worker) {
+		m.sys.met.throttleWaits.Add(1)
+		time.Sleep(time.Microsecond + w.jitter(int64(2*time.Microsecond)))
+	}
+}
+
+// pressuredPeer reports whether any other worker is running a transaction
+// whose pressure exceeds the threshold.
+//
+//bfgts:allocfree
+func (m *atsManager) pressuredPeer(worker int) bool {
+	for cpu := range m.sys.running {
+		if cpu == worker {
+			continue
+		}
+		d := m.sys.running[cpu].Load()
+		if d == int64(core.NoTx) {
+			continue
+		}
+		if m.pressure[d].Load() > m.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+//bfgts:allocfree
+func (m *atsManager) OnAbort(worker, stx, dtx, enemyDTx, attempt int) {
+	m.bump(dtx, 1)
+	if enemyDTx != core.NoTx {
+		m.bump(enemyDTx, 1)
+	}
+	m.sys.backoff(worker, attempt)
+}
+
+//bfgts:allocfree
+func (m *atsManager) OnCommit(worker, stx, dtx int, lines, writes []uint64, size int) {
+	m.bump(dtx, 0)
+}
+
+// bump folds an abort (event=1) or commit (event=0) into the pressure
+// EWMA: p ← α·p + (1−α)·event, CAS-retried so concurrent enemy bumps are
+// not lost.
+//
+//bfgts:allocfree
+func (m *atsManager) bump(dtx int, event int64) {
+	cell := &m.pressure[dtx]
+	for {
+		old := cell.Load()
+		next := int64(atsAlpha*float64(old)) + int64((1-atsAlpha)*float64(event*pressureScale))
+		if cell.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// MeanPressure implements PressureReporter.
+func (m *atsManager) MeanPressure() float64 {
+	if len(m.pressure) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range m.pressure {
+		sum += float64(m.pressure[i].Load())
+	}
+	return sum / pressureScale / float64(len(m.pressure))
+}

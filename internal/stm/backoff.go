@@ -1,0 +1,23 @@
+package stm
+
+// backoffManager is the baseline contention manager: no begin-time gating,
+// no learning — every abort waits out a randomized exponential window.
+// This is the STM equivalent of internal/sched's backoff baseline and the
+// floor the guided managers are measured against.
+type backoffManager struct {
+	sys *System
+}
+
+func (m *backoffManager) Name() string { return "Backoff" }
+
+//bfgts:allocfree
+func (m *backoffManager) OnBegin(worker, stx, dtx, attempt int) {}
+
+//bfgts:allocfree
+func (m *backoffManager) OnAbort(worker, stx, dtx, enemyDTx, attempt int) {
+	m.sys.backoff(worker, attempt)
+}
+
+//bfgts:allocfree
+func (m *backoffManager) OnCommit(worker, stx, dtx int, lines, writes []uint64, size int) {
+}

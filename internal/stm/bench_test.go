@@ -1,0 +1,46 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkSTMContended drives a contended read-modify-write mix through
+// each contention manager: every goroutine owns a worker slot and updates
+// hot TVars drawn from a small pool, so begin-time scheduling decisions
+// actually matter. Run with -benchmem: steady-state allocs/op should be
+// the published value cells only.
+func BenchmarkSTMContended(b *testing.B) {
+	for _, kind := range []SchedulerKind{SchedBackoff, SchedATS, SchedBFGTS} {
+		b.Run(kind.String(), func(b *testing.B) {
+			workers := runtime.GOMAXPROCS(0)
+			if workers < 2 {
+				workers = 2
+			}
+			sys := NewSystem(Config{Workers: workers, StaticTxs: 2, Scheduler: kind})
+			const vars = 16
+			pool := make([]*TVar[int], vars)
+			for i := range pool {
+				pool[i] = NewTVar(0)
+			}
+			var nextWorker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(nextWorker.Add(1)-1) % workers
+				rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+				for pb.Next() {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					v := pool[rng%vars]
+					_ = sys.Atomic(w, 0, func(tx *Tx) error {
+						v.Write(tx, v.Read(tx)+1)
+						return nil
+					})
+				}
+			})
+			b.ReportMetric(float64(sys.Aborts())/float64(b.N), "aborts/op")
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package stm
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// SchedulerKind selects one of the built-in contention managers.
+type SchedulerKind int
+
+const (
+	// SchedBackoff retries with randomized exponential backoff.
+	SchedBackoff SchedulerKind = iota
+	// SchedATS throttles workers whose abort pressure is high.
+	SchedATS
+	// SchedBFGTS runs the paper's Bloom-filter-guided scheduler.
+	SchedBFGTS
+)
+
+// String names the scheduler kind for benchmark tables and JSON exports.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedATS:
+		return "ATS"
+	case SchedBFGTS:
+		return "BFGTS"
+	default:
+		return "Backoff"
+	}
+}
+
+// ContentionManager is the STM's pluggable scheduling layer, the real-time
+// mirror of internal/sched.Manager's hook surface: the TM layer calls it
+// at transaction begin, abort and commit, and the manager decides how long
+// a worker waits (by blocking inside the hook — there is no simulator tick
+// to return an action to).
+//
+// Concurrency contract: OnBegin and OnAbort run on the owning worker's
+// goroutine before/after attempts; OnCommit runs on the owner after a
+// successful commit with the transaction's line keys in pooled buffers the
+// manager must not retain. Hooks for different workers run concurrently.
+type ContentionManager interface {
+	// Name identifies the manager in reports.
+	Name() string
+	// OnBegin gates an attempt: it returns when the worker may proceed.
+	// attempt is 0 for the first try of an Atomic call.
+	OnBegin(worker, stx, dtx, attempt int)
+	// OnAbort reacts to a conflict abort. enemyDTx is the validated local
+	// dTxID of the last writer that doomed the attempt, or core.NoTx when
+	// unknown or owned by a different System.
+	OnAbort(worker, stx, dtx, enemyDTx, attempt int)
+	// OnCommit observes a committed transaction: lines holds the distinct
+	// read/write-set keys, writes the written subset, size = len(lines).
+	OnCommit(worker, stx, dtx int, lines, writes []uint64, size int)
+}
+
+// ConfidenceReporter is implemented by managers that maintain a conflict
+// confidence table (BFGTS).
+type ConfidenceReporter interface {
+	MeanConfidence() float64
+}
+
+// PressureReporter is implemented by managers that track per-transaction
+// abort pressure (ATS).
+type PressureReporter interface {
+	MeanPressure() float64
+}
+
+// dtxStampMask bounds Workers*StaticTxs: a writer stamp packs the dtx into
+// the low 32 bits and the System ID above it.
+const dtxStampMask = 1<<32 - 1
+
+// writerStamp packs this System's identity with a dtx into the value
+// stored in tvar.lastWriter. Stamps are never 0 (System IDs start at 1),
+// so 0 remains the "never written" sentinel.
+//
+//bfgts:allocfree
+func (s *System) writerStamp(dtx int) int64 {
+	return int64(s.id<<32) | int64(dtx)
+}
+
+// enemyDTx validates a lastWriter stamp, returning the local dTxID when
+// this System minted it and core.NoTx otherwise. This is the cross-System
+// attribution guard: a TVar shared with another System carries foreign
+// stamps, and blindly indexing local confidence/pressure tables with a
+// foreign dtx is the out-of-range panic this layer used to have. Foreign
+// enemies are dropped (and counted) — the other System schedules its own.
+//
+//bfgts:allocfree
+func (s *System) enemyDTx(stamp int64) int {
+	if stamp == 0 {
+		return core.NoTx
+	}
+	if uint64(stamp)>>32 != s.id {
+		s.met.foreignEnemies.Add(1)
+		return core.NoTx
+	}
+	dtx := int(stamp & dtxStampMask)
+	if dtx >= s.cfg.Workers*s.cfg.StaticTxs {
+		// Unreachable when the System-ID check passed; kept as defense in
+		// depth because a table index panic here takes the worker down.
+		return core.NoTx
+	}
+	return dtx
+}
+
+// backoff sleeps the worker for a randomized exponential window: attempt n
+// waits uniformly in [window/2, 3·window/2) with window = 200ns·2^min(n,10).
+// Shared by all managers' abort paths.
+//
+//bfgts:allocfree
+func (s *System) backoff(worker, attempt int) {
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	window := int64(200) << shift
+	d := time.Duration(window/2) + s.workers[worker].jitter(window)
+	s.met.backoffNanos.Add(int64(d))
+	time.Sleep(d)
+}

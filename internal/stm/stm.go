@@ -1,16 +1,23 @@
 // Package stm is a runnable software transactional memory for Go programs
 // with BFGTS-style scheduling. It exists because the paper's system is a
 // hardware TM inside a simulator: this package gives the library a real
-// concurrent API exercising the same contention-management machinery
-// (internal/core) on live goroutines.
+// concurrent API exercising the same contention-management machinery on
+// live goroutines.
 //
-// The TM itself is a word-based STM in the TL2 tradition: a global version
-// clock, per-TVar versioned locks, lazy versioning (writes buffered until
-// commit), commit-time locking in a canonical order and read-set
-// validation. The contention manager plugs in at the same three points as
-// in the simulator: transaction begin (predict-and-serialize), abort
-// (confidence strengthening) and commit (Bloom-filter similarity
-// bookkeeping).
+// The package is layered like the simulator:
+//
+//   - The TM layer (this file) is a word-based STM in the TL2 tradition: a
+//     global version clock, per-TVar versioned locks, lazy versioning
+//     (writes buffered until commit), commit-time locking in a canonical
+//     order and read-set validation.
+//   - The pooling layer (pool.go, txset.go) keeps the begin→abort→retry
+//     path allocation-free: each worker owns one pooled Tx whose
+//     open-addressing read/write sets and commit scratch survive attempts,
+//     the PR 3 free-list idiom applied to the real STM.
+//   - The scheduling layer (manager.go and the per-manager files) is a
+//     pluggable ContentionManager mirroring internal/sched.Manager's hooks
+//     (begin, abort, commit) in real time: Backoff, ATS and a
+//     production-grade BFGTS whose begin-time scan takes no lock.
 //
 // Usage:
 //
@@ -24,31 +31,25 @@
 //
 // The function passed to Atomic may run several times (on conflict); it
 // must not have side effects other than TVar reads and writes.
+//
+// # Sharing TVars across Systems
+//
+// TVars may be shared by transactions of different Systems: the version
+// clock is process-wide, TVar identities are process-unique, and commit
+// lock order is canonical across Systems, so isolation holds globally.
+// The caveat is scheduling, not correctness: conflict attribution stamps
+// each TVar with a System-qualified writer ID, and a conflict whose last
+// writer belongs to another System is deliberately dropped on the floor
+// (counted as stm.foreign_enemies) — one System's contention managers
+// cannot learn about, throttle, or serialize behind transactions it does
+// not manage. Heavily shared TVars are therefore best owned by one System.
 package stm
 
 import (
 	"fmt"
-	"reflect"
-	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
-)
-
-// SchedulerKind selects the contention manager.
-type SchedulerKind int
-
-// Available schedulers.
-const (
-	// SchedBackoff retries with randomized exponential backoff.
-	SchedBackoff SchedulerKind = iota
-	// SchedATS throttles through a central queue above a conflict-pressure
-	// threshold (Yoo & Lee).
-	SchedATS
-	// SchedBFGTS runs the paper's BFGTS-SW: begin-time prediction against
-	// the worker table with Bloom-filter similarity bookkeeping.
-	SchedBFGTS
 )
 
 // Config parameterizes a System.
@@ -63,27 +64,30 @@ type Config struct {
 	BloomBits int
 	// PressureThreshold tunes SchedATS (default 0.5).
 	PressureThreshold float64
+	// NewManager, when non-nil, overrides Scheduler with a custom
+	// contention manager bound to the System under construction.
+	NewManager func(*System) ContentionManager
 }
+
+// systemIDs mints process-unique System identities for writer stamps.
+var systemIDs atomic.Uint64
 
 // System owns the scheduling state shared by all transactions.
 type System struct {
 	cfg Config
+	id  uint64 // process-unique, embedded in TVar writer stamps
 
 	// running[w] holds the dTxID executing on worker w, or core.NoTx.
+	// Begin-time prediction scans it with plain atomic loads — this is the
+	// paper's CPU table, with snoop traffic replaced by cache coherence.
 	running []atomic.Int64
 
-	// mu guards rt (the BFGTS runtime is single-threaded by design — in
-	// hardware it is per-CPU registers and snooped tables) and the commit
-	// scratch buffers below.
-	mu       sync.Mutex
-	rt       *core.Runtime
-	lineBuf  []uint64 // scratch: read/write-set lines for CommitTx
-	writeBuf []uint64 // scratch: written lines for CommitTx
+	// workers holds the per-worker shards: pooled Tx, commit scratch and
+	// jitter state. No worker ever touches another's shard.
+	workers []workerState
 
-	pressure []atomic.Int64 // fixed-point ATS conflict pressure per stx
-
-	commits atomic.Int64
-	aborts  atomic.Int64
+	mgr ContentionManager
+	met stmMetrics
 }
 
 // NewSystem builds a System.
@@ -91,35 +95,83 @@ func NewSystem(cfg Config) *System {
 	if cfg.Workers <= 0 || cfg.StaticTxs <= 0 {
 		panic("stm: Config needs positive Workers and StaticTxs")
 	}
+	if uint64(cfg.Workers)*uint64(cfg.StaticTxs) > dtxStampMask {
+		panic("stm: Workers*StaticTxs does not fit a writer stamp")
+	}
 	if cfg.BloomBits == 0 {
 		cfg.BloomBits = 1024
 	}
 	if cfg.PressureThreshold == 0 {
 		cfg.PressureThreshold = 0.5
 	}
-	ccfg := core.DefaultConfig(cfg.Workers, cfg.StaticTxs)
-	ccfg.BloomBits = cfg.BloomBits
 	s := &System{
-		cfg:      cfg,
-		running:  make([]atomic.Int64, cfg.Workers),
-		rt:       core.NewRuntime(ccfg, core.DefaultCosts()),
-		pressure: make([]atomic.Int64, cfg.StaticTxs),
+		cfg:     cfg,
+		id:      systemIDs.Add(1),
+		running: make([]atomic.Int64, cfg.Workers),
+		workers: make([]workerState, cfg.Workers),
 	}
 	for i := range s.running {
 		s.running[i].Store(int64(core.NoTx))
 	}
+	for i := range s.workers {
+		s.workers[i].init(i)
+	}
+	switch {
+	case cfg.NewManager != nil:
+		s.mgr = cfg.NewManager(s)
+	case cfg.Scheduler == SchedATS:
+		s.mgr = newATSManager(s)
+	case cfg.Scheduler == SchedBFGTS:
+		s.mgr = newBFGTSManager(s)
+	default:
+		s.mgr = &backoffManager{sys: s}
+	}
 	return s
 }
 
+// Manager returns the System's contention manager.
+func (s *System) Manager() ContentionManager { return s.mgr }
+
 // Commits returns the number of committed transactions.
-func (s *System) Commits() int64 { return s.commits.Load() }
+func (s *System) Commits() int64 { return s.met.commits.Load() }
 
 // Aborts returns the number of aborted transaction attempts.
-func (s *System) Aborts() int64 { return s.aborts.Load() }
+func (s *System) Aborts() int64 { return s.met.aborts.Load() }
+
+// RunningDTx returns the dynamic transaction executing on a worker, or
+// core.NoTx — one atomic load, for managers scanning the CPU table.
+//
+//bfgts:allocfree
+func (s *System) RunningDTx(worker int) int {
+	return int(s.running[worker].Load())
+}
+
+// Similarity returns the similarity EWMA of a dynamic transaction under
+// the BFGTS manager, and 0 under managers that do not track it.
+func (s *System) Similarity(dtx int) float64 {
+	if m, ok := s.mgr.(*bfgtsManager); ok {
+		return m.similarity(dtx)
+	}
+	return 0
+}
+
+// AvgSize returns the historical average read/write-set size of a dynamic
+// transaction under the BFGTS manager, and 0 under other managers.
+func (s *System) AvgSize(dtx int) float64 {
+	if m, ok := s.mgr.(*bfgtsManager); ok {
+		return m.avgSize(dtx)
+	}
+	return 0
+}
 
 // globalClock is the TL2 version clock shared by all TVars (they can be
 // shared across Systems, so the clock is process-wide).
 var globalClock atomic.Uint64
+
+// tvarKeys mints process-unique TVar identities: stable hash keys for the
+// read/write-set indexes, Bloom-signature line addresses, and the
+// canonical commit lock order (consistent across Systems by construction).
+var tvarKeys atomic.Uint64
 
 // tvar is the type-erased TVar core.
 type tvar struct {
@@ -127,9 +179,13 @@ type tvar struct {
 	// value) and odd while a committer holds the write lock.
 	version atomic.Uint64
 	val     atomic.Pointer[any]
-	// lastWriter is the dTxID that last committed a write, for conflict
-	// attribution.
+	// lastWriter is the System-qualified stamp of the last committed
+	// writer (see writerStamp), or 0 when never written transactionally.
+	// Conflict attribution unpacks it and drops stamps minted by other
+	// Systems instead of indexing local tables with foreign dTxIDs.
 	lastWriter atomic.Int64
+	// key is the TVar's process-unique identity.
+	key uint64
 }
 
 // TVar is a transactional variable holding a value of type T.
@@ -140,9 +196,9 @@ type TVar[T any] struct {
 // NewTVar creates a TVar with an initial value.
 func NewTVar[T any](initial T) *TVar[T] {
 	tv := &TVar[T]{}
+	tv.v.key = tvarKeys.Add(1)
 	var boxed any = initial
 	tv.v.val.Store(&boxed)
-	tv.v.lastWriter.Store(int64(core.NoTx))
 	return tv
 }
 
@@ -153,13 +209,12 @@ func (tv *TVar[T]) Read(tx *Tx) T {
 		var zero T
 		return zero
 	}
-	return (*got).(T)
+	return got.(T)
 }
 
 // Write buffers a new value for the TVar inside a transaction.
 func (tv *TVar[T]) Write(tx *Tx, val T) {
-	var boxed any = val
-	tx.write(&tv.v, &boxed)
+	tx.write(&tv.v, val)
 }
 
 // Peek reads the committed value outside any transaction (for tests and
@@ -168,13 +223,10 @@ func (tv *TVar[T]) Peek() T {
 	return (*tv.v.val.Load()).(T)
 }
 
-// tvarKey gives each TVar a stable identity for lock ordering and for the
-// Bloom-filter signatures (the analogue of a cache-line address).
-func tvarKey(v *tvar) uint64 {
-	return uint64(reflect.ValueOf(v).Pointer())
-}
-
-// Tx is one transaction attempt.
+// Tx is one transaction attempt. It is pooled per worker: the same object
+// (and its read/write-set storage) is reused across attempts and across
+// Atomic calls, so the retry path touches the allocator only while a set
+// outgrows its retained capacity.
 type Tx struct {
 	sys    *System
 	worker int
@@ -182,15 +234,45 @@ type Tx struct {
 	dtx    int
 
 	readVersion uint64
-	reads       map[*tvar]uint64
-	writes      map[*tvar]*any
+	reads       []readEntry
+	writes      []writeEntry
+	rIdx, wIdx  idxTable
 
-	enemy int64 // dTxID attributed to the last conflict, or core.NoTx
+	enemy int64 // writer stamp attributed to the last conflict, or 0
 }
 
-func (t *Tx) read(v *tvar) *any {
-	if val, ok := t.writes[v]; ok {
-		return val
+// reset prepares the pooled Tx for a fresh attempt, keeping all storage.
+//
+//bfgts:allocfree
+func (t *Tx) reset(readVersion uint64) {
+	t.readVersion = readVersion
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.rIdx.reset()
+	t.wIdx.reset()
+	t.enemy = 0
+}
+
+// read returns the transaction's view of v, aborting the attempt (via
+// txAbort) when a consistent view no longer exists.
+//
+//bfgts:allocfree
+func (t *Tx) read(v *tvar) any {
+	if i := t.lookupWrite(v); i >= 0 {
+		return t.writes[i].val
+	}
+	if i := t.lookupRead(v); i >= 0 {
+		// Re-read: the recorded version was ≤ readVersion when first read;
+		// any later commit moved the version past readVersion, so observing
+		// a change means this attempt is doomed. The val load precedes the
+		// version check; a committer writes val before unlocking, so an
+		// unchanged (even) version proves val is the recorded version's.
+		val := v.val.Load()
+		if v.version.Load() != t.reads[i].ver {
+			t.enemy = v.lastWriter.Load()
+			panic(txAbort{})
+		}
+		return *val
 	}
 	for {
 		v1 := v.version.Load()
@@ -200,14 +282,21 @@ func (t *Tx) read(v *tvar) *any {
 		}
 		val := v.val.Load()
 		if v.version.Load() == v1 {
-			t.reads[v] = v1
-			return val
+			t.appendRead(v, v1)
+			return *val
 		}
 	}
 }
 
-func (t *Tx) write(v *tvar, val *any) {
-	t.writes[v] = val
+// write buffers val as the transaction's pending value for v.
+//
+//bfgts:allocfree
+func (t *Tx) write(v *tvar, val any) {
+	if i := t.lookupWrite(v); i >= 0 {
+		t.writes[i].val = val
+		return
+	}
+	t.appendWrite(v, val)
 }
 
 // txAbort unwinds a doomed attempt through the user function.
@@ -217,6 +306,9 @@ type txAbort struct{}
 // transaction stx, retrying on conflicts until it commits. A non-nil error
 // from fn aborts the transaction (its writes are discarded) and is
 // returned.
+//
+// Each worker slot is single-flight: concurrent Atomic calls with the same
+// worker ID corrupt the pooled per-worker state, so they panic instead.
 func (s *System) Atomic(worker, stx int, fn func(*Tx) error) error {
 	if worker < 0 || worker >= s.cfg.Workers {
 		panic(fmt.Sprintf("stm: worker %d out of range", worker))
@@ -224,30 +316,38 @@ func (s *System) Atomic(worker, stx int, fn func(*Tx) error) error {
 	if stx < 0 || stx >= s.cfg.StaticTxs {
 		panic(fmt.Sprintf("stm: static tx %d out of range", stx))
 	}
+	w := &s.workers[worker]
+	if !w.busy.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("stm: worker %d used concurrently", worker))
+	}
 	dtx := worker*s.cfg.StaticTxs + stx
+	defer func() {
+		// Normal exits already cleared the running slot; this also covers
+		// a panic out of fn, so a poisoned worker cannot wedge the other
+		// workers' begin-time scans and ATS throttling forever.
+		s.running[worker].Store(int64(core.NoTx))
+		w.busy.Store(false)
+	}()
+	s.met.begins.Add(1)
+	tx := &w.tx
+	tx.sys, tx.worker, tx.stx, tx.dtx = s, worker, stx, dtx
 	attempt := 0
 	for {
-		s.scheduleBegin(worker, stx, dtx, attempt)
-		tx := &Tx{
-			sys: s, worker: worker, stx: stx, dtx: dtx,
-			readVersion: globalClock.Load(),
-			reads:       make(map[*tvar]uint64),
-			writes:      make(map[*tvar]*any),
-			enemy:       int64(core.NoTx),
-		}
+		s.mgr.OnBegin(worker, stx, dtx, attempt)
+		tx.reset(globalClock.Load())
 		s.running[worker].Store(int64(dtx))
 		err, aborted := tx.run(fn)
 		s.running[worker].Store(int64(core.NoTx))
 		if !aborted {
 			if err == nil {
-				s.commits.Add(1)
-				s.onCommit(tx)
+				s.met.commits.Add(1)
+				s.commitBookkeeping(w, tx)
 			}
 			return err
 		}
-		s.aborts.Add(1)
+		s.met.aborts.Add(1)
 		attempt++
-		s.onAbort(tx, attempt)
+		s.mgr.OnAbort(worker, stx, dtx, s.enemyDTx(tx.enemy), attempt)
 	}
 }
 
@@ -271,60 +371,124 @@ func (t *Tx) run(fn func(*Tx) error) (err error, aborted bool) {
 	return nil, false
 }
 
-// commit performs TL2 commit: lock the write set in canonical order,
-// validate the read set, publish.
+// commitBookkeeping assembles the committed read/write set into the
+// worker's pooled line buffers (distinct keys: writes first, then reads
+// not also written) and hands it to the manager's commit hook.
+//
+//bfgts:allocfree
+func (s *System) commitBookkeeping(w *workerState, tx *Tx) {
+	lines, writes := w.lineBuf[:0], w.writeBuf[:0]
+	for i := range tx.writes {
+		k := tx.writes[i].v.key
+		lines = append(lines, k)
+		writes = append(writes, k)
+	}
+	for i := range tx.reads {
+		if v := tx.reads[i].v; !tx.writeSetHas(v) {
+			lines = append(lines, v.key)
+		}
+	}
+	w.lineBuf, w.writeBuf = lines, writes
+	s.mgr.OnCommit(tx.worker, tx.stx, tx.dtx, lines, writes, len(lines))
+}
+
+// commit performs TL2 commit: lock the write set in canonical (TVar key)
+// order, validate the read set, publish. The write entries are sorted in
+// place — pooled per-worker storage serving as its own scratch — so the
+// commit path allocates nothing but the published value cells.
+//
+//bfgts:allocfree
 func (t *Tx) commit() bool {
 	if len(t.writes) == 0 {
 		// Read-only: the read set was validated incrementally against a
 		// fixed readVersion; nothing to publish.
 		return true
 	}
-	locked := make([]*tvar, 0, len(t.writes))
-	order := make([]*tvar, 0, len(t.writes))
-	for v := range t.writes {
-		order = append(order, v)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return tvarKey(order[i]) < tvarKey(order[j])
-	})
-	release := func() {
-		for _, v := range locked {
-			v.version.Store(v.version.Load() - 1) // restore pre-lock version
-		}
-	}
-	for _, v := range order {
-		ver, ok := t.reads[v]
-		if !ok {
+	sortWrites(t.writes)
+	// The write-set index maps TVars to pre-sort slots, so it is stale from
+	// here on; commit is the attempt's last act, and the lookups below
+	// (writeSetHas) binary-search the now-sorted entries instead.
+	nLocked := 0
+	for i := range t.writes {
+		v := t.writes[i].v
+		ver, recorded := t.readVersionOf(v)
+		if !recorded {
 			ver = v.version.Load()
 			if ver&1 == 1 || ver > t.readVersion {
-				t.enemy = v.lastWriter.Load()
-				release()
-				return false
+				return t.commitFail(nLocked, v)
 			}
 		}
 		if !v.version.CompareAndSwap(ver, ver+1) {
-			t.enemy = v.lastWriter.Load()
-			release()
-			return false
+			return t.commitFail(nLocked, v)
 		}
-		locked = append(locked, v)
+		nLocked++
 	}
 	// Validate reads not covered by write locks.
-	for v, ver := range t.reads {
-		if _, writes := t.writes[v]; writes {
+	for i := range t.reads {
+		e := &t.reads[i]
+		if t.writeSetHas(e.v) {
 			continue
 		}
-		if v.version.Load() != ver {
-			t.enemy = v.lastWriter.Load()
-			release()
-			return false
+		if e.v.version.Load() != e.ver {
+			return t.commitFail(nLocked, e.v)
 		}
 	}
 	commitVersion := globalClock.Add(2)
-	for _, v := range order {
-		v.val.Store(t.writes[v])
-		v.lastWriter.Store(int64(t.dtx))
-		v.version.Store(commitVersion)
+	stamp := t.sys.writerStamp(t.dtx)
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.val.Store(publish(e.val))
+		e.v.lastWriter.Store(stamp)
+		e.v.version.Store(commitVersion)
 	}
 	return true
+}
+
+// commitFail rolls back the locked prefix (restoring pre-lock versions),
+// attributes the conflict to v's last writer, and reports failure.
+//
+//bfgts:allocfree
+func (t *Tx) commitFail(nLocked int, v *tvar) bool {
+	for i := 0; i < nLocked; i++ {
+		lv := t.writes[i].v
+		lv.version.Store(lv.version.Load() - 1)
+	}
+	t.enemy = v.lastWriter.Load()
+	return false
+}
+
+// writeSetHas reports membership in the write set after sortWrites has
+// ordered it by key: a binary search, valid only during and after commit.
+//
+//bfgts:allocfree
+func (t *Tx) writeSetHas(v *tvar) bool {
+	lo, hi := 0, len(t.writes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.writes[mid].v.key < v.key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(t.writes) && t.writes[lo].v == v
+}
+
+// readVersionOf returns the version recorded when v was first read.
+//
+//bfgts:allocfree
+func (t *Tx) readVersionOf(v *tvar) (ver uint64, recorded bool) {
+	if i := t.lookupRead(v); i >= 0 {
+		return t.reads[i].ver, true
+	}
+	return 0, false
+}
+
+// publish boxes the buffered value into the immutable heap cell concurrent
+// readers will hold — the one allocation a commit makes by design: the
+// cell outlives the transaction and can never be recycled while readers
+// that loaded the pointer are still dereferencing it.
+func publish(val any) *any {
+	boxed := val
+	return &boxed
 }

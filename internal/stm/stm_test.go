@@ -258,10 +258,9 @@ func TestBFGTSRuntimeLearns(t *testing.T) {
 	if got := hot.Peek(); got != workers*300 {
 		t.Fatalf("counter = %d, want %d", got, workers*300)
 	}
-	// The runtime should have accumulated statistics for the hot block.
-	rt := sys.Runtime()
-	if rt.AvgSize(0) <= 0 {
-		t.Fatal("BFGTS runtime recorded no transaction sizes")
+	// The manager should have accumulated statistics for the hot block.
+	if sys.AvgSize(0) <= 0 {
+		t.Fatal("BFGTS manager recorded no transaction sizes")
 	}
 }
 

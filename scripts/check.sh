@@ -28,11 +28,16 @@ go test -race "$@" ./...
 tmp="$workdir/export.json"
 go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -json-out "$tmp" >/dev/null
 go run ./scripts/jsonverify "$tmp"
+# STM smoke: a tiny stmbench sweep must run all three contention managers
+# and emit an export that passes the same schema gate.
+stmtmp="$workdir/stm.json"
+go run ./cmd/stmbench -workers 2 -ops 200 -workloads counter,zipf -quiet -json-out "$stmtmp"
+go run ./scripts/jsonverify "$stmtmp"
 # Bench smoke: compile and run each hot-path microbenchmark once. The
 # paired Test*AllocFree tests already gate the 0 allocs/op contract; this
 # catches benchmarks that rot until release time.
-go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate' \
-	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ >/dev/null
+go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate|BenchmarkSTMContended' \
+	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ ./internal/stm/ >/dev/null
 # Fig4a wall-clock gate: the end-to-end figure run must stay within 15% of
 # the committed baseline, so batching-path regressions fail here instead of
 # rotting. The baseline is machine-specific — on other hardware either
