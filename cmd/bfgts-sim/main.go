@@ -9,6 +9,8 @@
 //	bfgts-sim -exp speedup -json-out results.json        (machine-readable)
 //	bfgts-sim -bench intruder -manager BFGTS-HW -bloom 2048   (single run)
 //	bfgts-sim -bench intruder -metrics-out metrics.json  (scheduler internals)
+//	bfgts-sim -bench intruder -decisions-out dec.json -trace-chrome dec.trace.json
+//	bfgts-sim -bench intruder -replay 16                 (counterfactual regret)
 //
 // Independent simulation cells fan out over a worker pool (-parallel,
 // default one slot per CPU); output is byte-identical to -parallel 1.
@@ -17,6 +19,13 @@
 // -json-out writes the full experiment matrix (every report, including
 // per-cell speedup values) as schema-versioned JSON; -metrics-out attaches
 // a metrics registry to a single run and writes its final snapshot.
+//
+// -decisions-out records every scheduling decision (serialize-vs-proceed
+// at begin, stall-vs-abort on NACK) with its predictor inputs and settled
+// outcome, and writes the schema-v2 decisions JSON; -trace-chrome writes
+// the same stream as Chrome trace_event JSON for Perfetto. -replay N
+// re-runs the window once per sampled begin decision with that decision
+// inverted and prints each decision's exact counterfactual regret.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the simulation
 // itself (profiling starts after flag parsing and the memory profile is
@@ -27,12 +36,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -53,6 +64,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "transaction-count scale factor")
 	traceFile := flag.String("trace", "", "single run: write a JSONL event trace to this file")
 	metricsOut := flag.String("metrics-out", "", "single run: write the scheduler-internals metrics snapshot (JSON) to this file")
+	decisionsOut := flag.String("decisions-out", "", "single run: write the decision trace (schema-v2 JSON) to this file")
+	traceChrome := flag.String("trace-chrome", "", "single run: write the decision trace as Chrome trace_event JSON (Perfetto) to this file")
+	replay := flag.Int("replay", 0, "single run: counterfactually replay up to N begin decisions inverted and print exact regret")
 	jsonOut := flag.String("json-out", "", "experiment run: write all reports as schema-versioned JSON to this file")
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
@@ -111,7 +125,8 @@ func main() {
 	r := harness.NewRunner(cfg)
 
 	if *bench != "" {
-		singleRun(cfg, *bench, *manager, *bloom, *traceFile, *metricsOut)
+		singleRun(cfg, *bench, *manager, *bloom, *traceFile, *metricsOut,
+			*decisionsOut, *traceChrome, *replay)
 		return
 	}
 
@@ -165,7 +180,7 @@ func writeExport(cfg harness.Config, reports []*harness.Report, path string) {
 	fmt.Printf("json: %d report(s) -> %s\n", len(reports), path)
 }
 
-func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, metricsOut string) {
+func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, metricsOut, decisionsOut, traceChrome string, replay int) {
 	r := harness.NewRunner(cfg)
 	f, ok := stamp.ByName(bench)
 	if !ok {
@@ -214,6 +229,35 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, 
 		}
 		fmt.Printf("metrics: %d instrument(s) -> %s\n", len(res.Metrics.Keys()), metricsOut)
 	}
+	if decisionsOut != "" || traceChrome != "" {
+		_, set := r.RunDecisions(f, spec)
+		g := decision.Estimate(set.Merge())
+		fmt.Printf("decisions: %d recorded (%d dropped), serialize rate %.1f%%, regret %.2f Mcycles (over %.2f / under %.2f)\n",
+			g.Decisions, set.Dropped(), 100*g.SerializeRate(),
+			float64(g.Total())/1e6, float64(g.OvercautionCycles)/1e6, float64(g.UndercautionCycles)/1e6)
+		if decisionsOut != "" {
+			e := decision.NewExport()
+			e.AddRun(spec.Name, f.Name(), "cycles", set)
+			writeTo(decisionsOut, e.EncodeJSON)
+			fmt.Printf("decisions: schema v%d -> %s\n", decision.SchemaVersion, decisionsOut)
+		}
+		if traceChrome != "" {
+			var c decision.ChromeTrace
+			c.AddRun(0, f.Name()+"/"+spec.Name, set)
+			writeTo(traceChrome, func(w io.Writer) error { _, err := c.WriteTo(w); return err })
+			fmt.Printf("chrome trace -> %s (open in ui.perfetto.dev)\n", traceChrome)
+		}
+	}
+	if replay > 0 {
+		rr := r.ReplayFlips(f, spec, replay)
+		fmt.Printf("replay: %d decision(s) inverted against base makespan %.2f Mcycles\n",
+			len(rr.Flips), float64(rr.Base.Makespan)/1e6)
+		for _, fl := range rr.Flips {
+			fmt.Printf("  begin #%-6d tid %-3d tx%-2d %-7s (%s)  regret %+.3f Mcycles\n",
+				fl.BeginIndex, fl.Tid, fl.Stx, fl.Choice, fl.Outcome,
+				float64(fl.Regret)/1e6)
+		}
+	}
 	fmt.Printf("commits %d  aborts %d  makespan %.2f Mcycles\n",
 		res.Commits, res.Aborts, float64(res.Makespan)/1e6)
 	b := res.Breakdown
@@ -234,6 +278,20 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, 
 		}
 		fmt.Printf("  tx%d latency: mean %.0f cyc, p50 <= %d, p99 <= %d  [%s]\n",
 			s, h.Mean(), h.Percentile(50), h.Percentile(99), h.Sparkline())
+	}
+}
+
+// writeTo creates path and streams enc into it, exiting on failure.
+func writeTo(path string, enc func(io.Writer) error) {
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	if err := enc(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

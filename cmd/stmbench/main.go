@@ -15,22 +15,37 @@
 //
 //	stmbench [-workers 2,4,8] [-ops 5000] [-workloads counter,zipf]
 //	         [-keys 256] [-zipf-s 1.2] [-seed 1] [-json-out FILE] [-quiet]
+//	         [-cpuprofile FILE] [-decisions-out FILE] [-trace-chrome FILE]
+//
+// -cpuprofile writes a pprof CPU profile of the sweep; every worker
+// goroutine carries pprof labels (manager, workload), so `go tool pprof
+// -tagfocus manager=BFGTS` attributes samples per contention manager.
+//
+// -decisions-out records every live scheduling decision (optimistic
+// proceed, spin/yield suspend) with wall-clock outcomes and writes the
+// schema-v2 decisions JSON (units "ns"); -trace-chrome writes the same
+// streams as Chrome trace_event JSON for Perfetto, one process per
+// (workload, scheduler, workers) cell.
 //
 // Note: meaningful contention requires real hardware parallelism
 // (GOMAXPROCS > 1); on a single CPU, goroutines rarely overlap.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/decision"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/stm"
@@ -47,6 +62,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed for the per-worker key streams")
 	jsonOut := flag.String("json-out", "", "write the sweep as schema-v1 JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress the text tables (JSON output only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep (labeled per manager/workload)")
+	decisionsOut := flag.String("decisions-out", "", "write the live decision traces as schema-v2 JSON to this file")
+	traceChrome := flag.String("trace-chrome", "", "write the live decision traces as Chrome trace_event JSON (Perfetto) to this file")
 	flag.Parse()
 
 	workerCounts, err := parseWorkers(*workersCSV)
@@ -65,6 +83,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stmbench: -zipf-s must be > 1")
 		os.Exit(2)
 	}
+
+	profiling := false
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "stmbench:", err)
+			os.Exit(1)
+		}
+		profiling = true
+		defer pprof.StopCPUProfile()
+	}
+
+	record := *decisionsOut != "" || *traceChrome != ""
+	var dexp *decision.Export
+	var chrome decision.ChromeTrace
+	if record {
+		dexp = decision.NewExport()
+	}
+	pid := 0
 
 	var reports []*harness.Report
 	for _, wl := range workloads {
@@ -86,10 +128,16 @@ func main() {
 		}
 		for _, kind := range schedulers {
 			for _, w := range workerCounts {
-				res := runCell(wl, kind, w, *ops, *keys, *zipfS, *seed)
+				res, set := runCell(wl, kind, w, *ops, *keys, *zipfS, *seed, record)
 				addRow(rep, kind, w, res)
 				if !*quiet {
 					printRow(kind, w, res)
+				}
+				if record {
+					cell := fmt.Sprintf("%s/w%d", wl, w)
+					dexp.AddRun(kind.String(), cell, "ns", set)
+					chrome.AddRun(pid, cell+"/"+kind.String(), set)
+					pid++
 				}
 			}
 		}
@@ -97,6 +145,22 @@ func main() {
 			fmt.Println()
 		}
 		reports = append(reports, rep)
+	}
+
+	if profiling {
+		// Stop before output so error-path os.Exit cannot truncate it.
+		pprof.StopCPUProfile()
+		profiling = false
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *cpuProfile)
+		}
+	}
+
+	if *decisionsOut != "" {
+		writeFile(*decisionsOut, dexp.EncodeJSON, *quiet)
+	}
+	if *traceChrome != "" {
+		writeFile(*traceChrome, func(w io.Writer) error { _, err := chrome.WriteTo(w); return err }, *quiet)
 	}
 
 	if *jsonOut != "" {
@@ -123,6 +187,27 @@ func main() {
 		if !*quiet {
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+	}
+}
+
+// writeFile creates path, streams enc into it, and reports the write.
+func writeFile(path string, enc func(io.Writer) error, quiet bool) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Printf("wrote %s\n", path)
 	}
 }
 
@@ -185,9 +270,15 @@ func printRow(kind stm.SchedulerKind, workers int, r cellResult) {
 
 // runCell executes one workload cell: `workers` goroutines each running
 // `ops` transactions under the given contention manager, measuring the
-// wall latency of every Atomic call in a per-worker histogram.
-func runCell(workload string, kind stm.SchedulerKind, workers, ops, keys int, zipfS float64, seed uint64) cellResult {
-	sys := stm.NewSystem(stm.Config{Workers: workers, StaticTxs: 1, Scheduler: kind})
+// wall latency of every Atomic call in a per-worker histogram. With
+// record set it also attaches a per-worker decision trace and returns
+// the set alongside the measurement.
+func runCell(workload string, kind stm.SchedulerKind, workers, ops, keys int, zipfS float64, seed uint64, record bool) (cellResult, *decision.Set) {
+	var set *decision.Set
+	if record {
+		set = decision.NewSet(workers, 0)
+	}
+	sys := stm.NewSystem(stm.Config{Workers: workers, StaticTxs: 1, Scheduler: kind, Decisions: set})
 
 	// txFor builds the per-worker transaction stream for the workload. The
 	// returned func runs one operation (one Atomic call) per invocation.
@@ -249,13 +340,18 @@ func runCell(workload string, kind stm.SchedulerKind, workers, ops, keys int, zi
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			op := txFor(w)
-			h := &hists[w]
-			for i := 0; i < ops; i++ {
-				t0 := time.Now()
-				op()
-				h.Add(time.Since(t0).Nanoseconds())
-			}
+			// Label the worker so -cpuprofile samples attribute to their
+			// (manager, workload) cell under `go tool pprof -tagfocus`.
+			labels := pprof.Labels("manager", kind.String(), "workload", workload)
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				op := txFor(w)
+				h := &hists[w]
+				for i := 0; i < ops; i++ {
+					t0 := time.Now()
+					op()
+					h.Add(time.Since(t0).Nanoseconds())
+				}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -264,7 +360,7 @@ func runCell(workload string, kind stm.SchedulerKind, workers, ops, keys int, zi
 	for w := range hists {
 		res.lat.Merge(&hists[w])
 	}
-	return res
+	return res, set
 }
 
 func newTVars(n int) []*stm.TVar[int] {

@@ -36,6 +36,10 @@ var gateEntryPoints = map[string][]string{
 		"appendWrite", "sortWrites", "commitBookkeeping",
 		"OnBegin", "OnAbort", "OnCommit", "predict", "suspend", "stallOn",
 		"republish", "validate", "backoff", "jitter", "enemyDTx",
+		"decShard", "decNow",
+	},
+	"decision": { // TestDecisionHotPathAllocFree / TestDecisionRecordingAllocFreeLive
+		"Add", "SetWait", "Resolve", "SetEnemy", "Shard",
 	},
 }
 

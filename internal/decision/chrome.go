@@ -1,0 +1,133 @@
+package decision
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeTrace builds a Chrome trace_event JSON document ("JSON Object
+// Format") that Perfetto and chrome://tracing open directly: one process
+// per run, one track per thread, decision spans annotated with the
+// confidence/similarity inputs behind each choice.
+//
+// Timestamps: trace_event "ts"/"dur" are microseconds. One simulated
+// cycle (or one wall nanosecond, for STM streams) is mapped to one
+// nanosecond, i.e. ts = Time/1000.0 — absolute durations in the UI read
+// as ns at a 1 GHz mental clock, and relative structure is exact.
+//
+// Encoding goes through encoding/json with fixed-order struct fields and
+// sorted map keys, so output is deterministic.
+type ChromeTrace struct {
+	evs []chromeEvent
+}
+
+// chromeEvent is one trace_event entry. Fields follow the trace-event
+// format spec; omitempty keeps metadata and instant events compact.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON Object Format document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerUnit = 1000.0 // trace_event ts is µs; Record.Time is cycles/ns
+
+// AddProcess names a process (one per run) in the trace UI.
+func (c *ChromeTrace) AddProcess(pid int, name string) {
+	c.evs = append(c.evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddThread names a thread track within a process.
+func (c *ChromeTrace) AddThread(pid, tid int, name string) {
+	c.evs = append(c.evs, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddSpan appends a complete ("X") event lasting dur time units starting
+// at ts (both in Record.Time units). args may be nil.
+func (c *ChromeTrace) AddSpan(pid, tid int, name string, ts, dur int64, args map[string]any) {
+	d := float64(dur) / usPerUnit
+	if d < 0 {
+		d = 0
+	}
+	c.evs = append(c.evs, chromeEvent{
+		Name: name, Ph: "X", Ts: float64(ts) / usPerUnit, Dur: d,
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// AddInstant appends a thread-scoped instant ("i") event.
+func (c *ChromeTrace) AddInstant(pid, tid int, name string, ts int64, args map[string]any) {
+	c.evs = append(c.evs, chromeEvent{
+		Name: name, Ph: "i", Ts: float64(ts) / usPerUnit, S: "t",
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// AddRun lays one recorded run out as a process: thread tracks in tid
+// order, serialize/stall decisions as spans covering their measured wait,
+// aborted proceeds as spans covering the wasted work, and everything else
+// as instants — each annotated with the decision's predictor inputs and
+// settled outcome.
+func (c *ChromeTrace) AddRun(pid int, name string, set *Set) {
+	c.AddProcess(pid, name)
+	recs := set.Merge()
+	seen := make(map[int32]bool)
+	for i := range recs {
+		if tid := recs[i].Tid; !seen[tid] {
+			seen[tid] = true
+			c.AddThread(pid, int(tid), "thread")
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		args := map[string]any{
+			"outcome":    r.Outcome.String(),
+			"confidence": r.Confidence,
+			"similarity": r.Similarity,
+			"stx":        r.Stx,
+			"enemy_stx":  r.EnemyStx,
+			"attempt":    r.Attempt,
+		}
+		label := r.Point.String() + ":" + r.Choice.String()
+		switch {
+		case r.WaitCycles > 0:
+			c.AddSpan(pid, int(r.Tid), label, r.Time, r.WaitCycles, args)
+		case r.WastedCycles > 0:
+			c.AddSpan(pid, int(r.Tid), label, r.Time, r.WastedCycles, args)
+		default:
+			c.AddInstant(pid, int(r.Tid), label, r.Time, args)
+		}
+	}
+}
+
+// WriteTo serializes the document. Returns the written byte count to
+// satisfy io.WriterTo.
+func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	evs := c.evs
+	if evs == nil {
+		evs = []chromeEvent{} // emit [], not null: consumers index it
+	}
+	out, err := json.Marshal(chromeDoc{TraceEvents: evs, DisplayTimeUnit: "ns"})
+	if err != nil {
+		return 0, err
+	}
+	out = append(out, '\n')
+	n, err := w.Write(out)
+	return int64(n), err
+}

@@ -1,0 +1,327 @@
+// Package decision is the unified decision-trace and regret layer shared
+// by the simulator (internal/sim) and the live STM (internal/stm): every
+// scheduling decision point — serialize-vs-proceed at transaction begin,
+// stall-vs-abort on a NACK, spin-vs-yield inside an STM suspend — emits
+// one compact record carrying the decision, the predicted enemy, the
+// confidence/similarity inputs that drove it, and (settled later) the
+// outcome: cycles wasted if the attempt aborted, cycles waited if the
+// thread serialized.
+//
+// The paper's metrics answer "was the prediction right?" (precision);
+// this layer answers "did the decision pay?". On top of the raw stream
+// sit an estimated-regret accountant (Estimate), a schema-v2 JSON export
+// (export.go) and a Chrome trace_event exporter (chrome.go) that opens
+// directly in Perfetto.
+//
+// The recorder mirrors internal/trace's bounded drop-counting design and
+// is sharded per thread: each shard is owned by one thread (simulator
+// threads are single-threaded by construction; STM workers are
+// single-flight per slot), so the hot-path Add takes no lock and
+// allocates nothing in steady state (//bfgts:allocfree, cross-checked by
+// bfgtsvet). Merge folds the shards into one deterministic stream.
+package decision
+
+import "sort"
+
+// Point is where in the transaction lifecycle a decision was taken.
+type Point uint8
+
+// Decision points.
+const (
+	// PBegin: the serialize-vs-proceed decision at transaction begin.
+	PBegin Point = iota
+	// PNack: the stall-vs-abort decision after an access was NACKed.
+	PNack
+	numPoints
+)
+
+// String returns the label used in exports.
+func (p Point) String() string {
+	switch p {
+	case PBegin:
+		return "begin"
+	case PNack:
+		return "nack"
+	default:
+		return "point?"
+	}
+}
+
+// Choice is what the scheduler decided to do at a decision point.
+type Choice uint8
+
+// Choices.
+const (
+	// CProceed: start (or continue) the transaction optimistically.
+	CProceed Choice = iota
+	// CSpin: serialize by busy-waiting behind the predicted enemy.
+	CSpin
+	// CYield: serialize by yielding the CPU behind the predicted enemy.
+	CYield
+	// CBlock: serialize by parking on a scheduler queue (ATS).
+	CBlock
+	// CStall: hold the NACKed access and wait for the holder to drain.
+	CStall
+	numChoices
+)
+
+// String returns the label used in exports.
+func (c Choice) String() string {
+	switch c {
+	case CProceed:
+		return "proceed"
+	case CSpin:
+		return "spin"
+	case CYield:
+		return "yield"
+	case CBlock:
+		return "block"
+	case CStall:
+		return "stall"
+	default:
+		return "choice?"
+	}
+}
+
+// Serializes reports whether the choice delayed the transaction behind a
+// predicted enemy (the overcaution side of the regret ledger).
+func (c Choice) Serializes() bool { return c == CSpin || c == CYield || c == CBlock }
+
+// Outcome is how a decision settled once the future arrived.
+type Outcome uint8
+
+// Outcomes. A record starts OPending and is settled in place.
+const (
+	// OPending: the outcome is not (yet) known; unsettled records survive
+	// in exports so truncated windows stay honest.
+	OPending Outcome = iota
+	// OCommitted: a proceed decision whose attempt committed.
+	OCommitted
+	// OAborted: a proceed decision whose attempt aborted — WastedCycles
+	// holds the work thrown away (the undercaution currency).
+	OAborted
+	// OJustified: a serialize decision whose enemy really overlapped the
+	// committed line set — the wait bought something.
+	OJustified
+	// OOvercautious: a serialize decision whose enemy did not overlap —
+	// WaitCycles were spent for nothing (the overcaution currency).
+	OOvercautious
+	// OReleased: a stall decision that ended with the holder draining;
+	// the access retried without an abort.
+	OReleased
+	// OTimedOut: a stall decision that exhausted its budget (or was
+	// doomed while waiting) and rolled back.
+	OTimedOut
+	numOutcomes
+)
+
+// String returns the label used in exports.
+func (o Outcome) String() string {
+	switch o {
+	case OPending:
+		return "pending"
+	case OCommitted:
+		return "committed"
+	case OAborted:
+		return "aborted"
+	case OJustified:
+		return "justified"
+	case OOvercautious:
+		return "overcautious"
+	case OReleased:
+		return "released"
+	case OTimedOut:
+		return "timed_out"
+	default:
+		return "outcome?"
+	}
+}
+
+// Record is one scheduling decision. Time units are simulated cycles in
+// the simulator and wall nanoseconds in the STM; the export stamps which.
+type Record struct {
+	// Time is when the decision was taken (cycles or ns, run-relative).
+	Time int64
+	// Seq is the per-thread emission index: (Tid, Seq) is unique, so the
+	// merged (Time, Tid, Seq) order is total and deterministic.
+	Seq int32
+	// BeginIndex is the global 1-based OnBegin call index in the
+	// simulator (the replay coordinate of RunConfig.FlipBegin); 0 when
+	// not applicable (STM, NACK records).
+	BeginIndex int64
+
+	Tid     int32 // deciding thread / worker
+	Stx     int32 // its static transaction
+	Attempt int32 // attempt number within the execution (1-based; 0 in STM)
+
+	Point  Point
+	Choice Choice
+	// Outcome starts OPending and is settled in place via Resolve.
+	Outcome Outcome
+
+	// EnemyDTx/EnemyStx identify the predicted enemy (serialize decisions),
+	// the NACKing holder (stall decisions), or — stamped at settlement via
+	// SetEnemy — the transaction that doomed an aborted proceed; -1 when
+	// none.
+	EnemyDTx int32
+	EnemyStx int32
+
+	// Confidence and Similarity are the predictor inputs behind the
+	// decision (zero for managers that do not track them).
+	Confidence float64
+	Similarity float64
+
+	// WaitCycles is time spent waiting because of the decision
+	// (serialize and stall choices).
+	WaitCycles int64
+	// WastedCycles is work thrown away when a proceed decision aborted.
+	WastedCycles int64
+}
+
+// DefaultCap bounds per-thread recorders that do not set Cap.
+const DefaultCap = 1 << 17
+
+// Recorder accumulates one thread's decisions up to a cap, then counts
+// drops — the internal/trace bounding discipline. It is single-owner: the
+// emitting thread is the only writer, so no locking is needed and the
+// append-to-field hot path stays allocation-free once capacity is warm.
+type Recorder struct {
+	// Cap is the maximum retained records; <=0 means DefaultCap.
+	Cap     int
+	recs    []Record
+	dropped int64
+	seq     int32
+}
+
+// Add records a decision and returns its token for later settlement, or
+// -1 when the record was dropped past the cap. The Seq field is stamped
+// here; callers need not set it.
+//
+//bfgts:allocfree
+func (r *Recorder) Add(rec Record) int {
+	rec.Seq = r.seq
+	r.seq++
+	cap := r.Cap
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	if len(r.recs) >= cap {
+		r.dropped++
+		return -1
+	}
+	r.recs = append(r.recs, rec)
+	return len(r.recs) - 1
+}
+
+// SetWait settles the wait duration of a pending decision in place.
+// Tolerates the -1 drop token.
+//
+//bfgts:allocfree
+func (r *Recorder) SetWait(tok int, wait int64) {
+	if tok < 0 {
+		return
+	}
+	r.recs[tok].WaitCycles = wait
+}
+
+// Resolve settles a pending decision's outcome (and, for aborted
+// proceeds, the wasted cycles) in place. Tolerates the -1 drop token.
+//
+//bfgts:allocfree
+func (r *Recorder) Resolve(tok int, o Outcome, wasted int64) {
+	if tok < 0 {
+		return
+	}
+	r.recs[tok].Outcome = o
+	r.recs[tok].WastedCycles = wasted
+}
+
+// SetEnemy settles the counterparty of a pending decision in place — used
+// when the enemy only becomes known at settlement (the transaction that
+// doomed an optimistic proceed). Tolerates the -1 drop token.
+//
+//bfgts:allocfree
+func (r *Recorder) SetEnemy(tok int, dtx, stx int32) {
+	if tok < 0 {
+		return
+	}
+	r.recs[tok].EnemyDTx = dtx
+	r.recs[tok].EnemyStx = stx
+}
+
+// Records returns the retained records in emission order.
+func (r *Recorder) Records() []Record { return r.recs }
+
+// Dropped returns how many records exceeded the cap.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Reset empties the recorder, keeping its storage for reuse.
+func (r *Recorder) Reset() {
+	r.recs = r.recs[:0]
+	r.dropped = 0
+	r.seq = 0
+}
+
+// Set is a per-thread sharded decision trace: one Recorder per thread,
+// merged deterministically after the run. Shards are fixed at
+// construction so the hot path never allocates or locks.
+type Set struct {
+	shards []Recorder
+}
+
+// NewSet builds a set with one shard per thread. capPerThread <= 0 means
+// DefaultCap.
+func NewSet(threads, capPerThread int) *Set {
+	s := &Set{shards: make([]Recorder, threads)}
+	for i := range s.shards {
+		s.shards[i].Cap = capPerThread
+	}
+	return s
+}
+
+// Threads returns the shard count.
+func (s *Set) Threads() int { return len(s.shards) }
+
+// Shard returns thread tid's recorder. The caller owns it exclusively.
+//
+//bfgts:allocfree
+func (s *Set) Shard(tid int) *Recorder { return &s.shards[tid] }
+
+// Len totals retained records across shards.
+func (s *Set) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].recs)
+	}
+	return n
+}
+
+// Dropped totals drops across shards.
+func (s *Set) Dropped() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].dropped
+	}
+	return n
+}
+
+// Merge folds all shards into one stream ordered by (Time, Tid, Seq).
+// (Tid, Seq) is unique, so the order is total: two merges of the same set
+// are byte-identical regardless of shard sizes or call timing.
+func (s *Set) Merge() []Record {
+	out := make([]Record, 0, s.Len())
+	for i := range s.shards {
+		out = append(out, s.shards[i].recs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

@@ -1,0 +1,307 @@
+package decision
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAddSettle(t *testing.T) {
+	var r Recorder
+	tok := r.Add(Record{Time: 10, Tid: 1, Stx: 0, Point: PBegin, Choice: CSpin, EnemyDTx: 7, EnemyStx: 1})
+	if tok != 0 {
+		t.Fatalf("token = %d, want 0", tok)
+	}
+	r.SetWait(tok, 500)
+	r.Resolve(tok, OOvercautious, 0)
+	recs := r.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	got := recs[0]
+	if got.WaitCycles != 500 || got.Outcome != OOvercautious || got.Seq != 0 {
+		t.Fatalf("settled record = %+v", got)
+	}
+	// The drop token must be inert.
+	r.SetWait(-1, 1)
+	r.Resolve(-1, OCommitted, 1)
+}
+
+// TestRecorderCapBoundary pins drop accounting at exactly Cap and Cap+1,
+// and that tokens for dropped records are -1.
+func TestRecorderCapBoundary(t *testing.T) {
+	r := Recorder{Cap: 4}
+	for i := 0; i < 4; i++ {
+		if tok := r.Add(Record{Time: int64(i)}); tok != i {
+			t.Fatalf("add %d: token %d", i, tok)
+		}
+	}
+	if len(r.Records()) != 4 || r.Dropped() != 0 {
+		t.Fatalf("at cap: records=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+	if tok := r.Add(Record{Time: 4}); tok != -1 {
+		t.Fatalf("cap+1 add returned token %d, want -1", tok)
+	}
+	if len(r.Records()) != 4 || r.Dropped() != 1 {
+		t.Fatalf("past cap: records=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := Recorder{Cap: 2}
+	r.Add(Record{})
+	r.Add(Record{})
+	r.Add(Record{})
+	r.Reset()
+	if len(r.Records()) != 0 || r.Dropped() != 0 {
+		t.Fatalf("reset left records=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+	if tok := r.Add(Record{}); tok != 0 {
+		t.Fatalf("post-reset token = %d", tok)
+	}
+	if r.Records()[0].Seq != 0 {
+		t.Fatalf("post-reset seq = %d", r.Records()[0].Seq)
+	}
+}
+
+// TestMergeDeterministicConcurrent writes shards from concurrent
+// goroutines (the STM usage pattern: one owner per shard) and checks the
+// merged stream is identical across merges and independent of write
+// timing.
+func TestMergeDeterministicConcurrent(t *testing.T) {
+	const threads, per = 8, 100
+	build := func() *Set {
+		s := NewSet(threads, 0)
+		var wg sync.WaitGroup
+		for tid := 0; tid < threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				sh := s.Shard(tid)
+				for i := 0; i < per; i++ {
+					// Colliding timestamps across shards force the
+					// (Time, Tid, Seq) tiebreak to do real work.
+					sh.Add(Record{Time: int64(i % 10), Tid: int32(tid), Stx: int32(i % 3)})
+				}
+			}(tid)
+		}
+		wg.Wait()
+		return s
+	}
+	a, b := build(), build()
+	ma, mb := a.Merge(), b.Merge()
+	if len(ma) != threads*per || len(ma) != len(mb) {
+		t.Fatalf("merge sizes %d, %d", len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("merge diverges at %d: %+v vs %+v", i, ma[i], mb[i])
+		}
+	}
+	// Order must be (Time, Tid, Seq)-sorted.
+	for i := 1; i < len(ma); i++ {
+		p, q := &ma[i-1], &ma[i]
+		if p.Time > q.Time ||
+			(p.Time == q.Time && p.Tid > q.Tid) ||
+			(p.Time == q.Time && p.Tid == q.Tid && p.Seq >= q.Seq) {
+			t.Fatalf("merge out of order at %d: %+v then %+v", i, *p, *q)
+		}
+	}
+	// Merging twice from one set must also be stable.
+	mc := a.Merge()
+	for i := range ma {
+		if ma[i] != mc[i] {
+			t.Fatalf("re-merge diverges at %d", i)
+		}
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	recs := []Record{
+		{Point: PBegin, Choice: CProceed, Outcome: OCommitted},
+		{Point: PBegin, Choice: CProceed, Outcome: OAborted, WastedCycles: 300},
+		{Point: PBegin, Choice: CSpin, Outcome: OJustified, WaitCycles: 100},
+		{Point: PBegin, Choice: CYield, Outcome: OOvercautious, WaitCycles: 250},
+		{Point: PBegin, Choice: CBlock, Outcome: OPending, WaitCycles: 40},
+		{Point: PNack, Choice: CStall, Outcome: OReleased, WaitCycles: 60},
+		{Point: PNack, Choice: CStall, Outcome: OTimedOut, WaitCycles: 800},
+	}
+	g := Estimate(recs)
+	if g.Decisions != 7 || g.Proceeds != 2 || g.Serializations != 3 || g.Stalls != 2 {
+		t.Fatalf("counts: %+v", g)
+	}
+	if g.Committed != 1 || g.Aborted != 1 || g.Justified != 1 || g.Overcautious != 1 {
+		t.Fatalf("outcomes: %+v", g)
+	}
+	if g.Released != 1 || g.TimedOut != 1 || g.Pending != 1 {
+		t.Fatalf("stall/pending: %+v", g)
+	}
+	if g.OvercautionCycles != 250 || g.UndercautionCycles != 300 || g.Total() != 550 {
+		t.Fatalf("regret: %+v", g)
+	}
+	if g.WaitCycles != 390 || g.StallWaitCycles != 860 {
+		t.Fatalf("waits: %+v", g)
+	}
+	if got := g.SerializeRate(); got < 0.59 || got > 0.61 {
+		t.Fatalf("serialize rate = %v", got)
+	}
+}
+
+func buildSampleSet() *Set {
+	s := NewSet(2, 0)
+	s.Shard(0).Add(Record{Time: 5, Tid: 0, Point: PBegin, Choice: CProceed,
+		Outcome: OCommitted, EnemyDTx: -1, EnemyStx: -1, BeginIndex: 1})
+	tok := s.Shard(1).Add(Record{Time: 3, Tid: 1, Point: PBegin, Choice: CSpin,
+		Outcome: OPending, EnemyDTx: 0, EnemyStx: 0, Confidence: 0.8, Similarity: 0.4, BeginIndex: 2})
+	s.Shard(1).SetWait(tok, 120)
+	s.Shard(1).Resolve(tok, OJustified, 0)
+	s.Shard(1).Add(Record{Time: 9, Tid: 1, Point: PNack, Choice: CStall,
+		Outcome: OReleased, EnemyDTx: 0, EnemyStx: 0, WaitCycles: 30})
+	return s
+}
+
+func TestExportRoundTripAndValidate(t *testing.T) {
+	e := NewExport()
+	e.AddRun("BFGTS-HW", "intruder", "cycles", buildSampleSet())
+	if err := e.Validate(); err != nil {
+		t.Fatalf("fresh export invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := e.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped export invalid: %v", err)
+	}
+	if back.Runs[0].Regret.Decisions != 3 || back.Runs[0].Regret.Serializations != 1 {
+		t.Fatalf("regret ledger lost in transit: %+v", back.Runs[0].Regret)
+	}
+	// Determinism: encoding twice is byte-identical.
+	var buf2 bytes.Buffer
+	if err := e.EncodeJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("export encoding not deterministic")
+	}
+}
+
+func TestExportValidateRejects(t *testing.T) {
+	bad := NewExport()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty export validated")
+	}
+	e := NewExport()
+	e.AddRun("m", "w", "cycles", buildSampleSet())
+	e.Runs[0].Records[0].Choice = "teleport"
+	if err := e.Validate(); err == nil {
+		t.Fatal("unknown choice validated")
+	}
+	e2 := NewExport()
+	e2.AddRun("m", "w", "fortnights", buildSampleSet())
+	if err := e2.Validate(); err == nil {
+		t.Fatal("bad units validated")
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	var c ChromeTrace
+	c.AddRun(0, "intruder/BFGTS-HW", buildSampleSet())
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("doc: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	kinds := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			t.Fatalf("event without ph: %+v", ev)
+		}
+		kinds[ev.Ph]++
+	}
+	if kinds["M"] < 3 { // process_name + two thread_names
+		t.Fatalf("metadata events = %d", kinds["M"])
+	}
+	if kinds["X"] == 0 {
+		t.Fatal("no decision spans emitted")
+	}
+	// Span args must carry the confidence annotation the issue asks for.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if _, ok := ev.Args["confidence"]; ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no span annotated with confidence")
+	}
+	// Determinism: rebuilding from the same set is byte-identical.
+	var c2 ChromeTrace
+	c2.AddRun(0, "intruder/BFGTS-HW", buildSampleSet())
+	var buf2 bytes.Buffer
+	if _, err := c2.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome encoding not deterministic")
+	}
+}
+
+func TestEmptyChromeTraceIsValid(t *testing.T) {
+	var c ChromeTrace
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Fatalf("empty trace = %s", buf.String())
+	}
+}
+
+// TestDecisionHotPathAllocFree is the runtime half of the 0 allocs/op
+// contract on Add/SetWait/Resolve/Shard (the static half is bfgtsvet's
+// allocfree analyzer; internal/analysis/markers_test.go keeps the two in
+// lockstep).
+func TestDecisionHotPathAllocFree(t *testing.T) {
+	s := NewSet(2, 256)
+	r := s.Shard(1)
+	for i := 0; i < 256; i++ { // warm the backing array to capacity
+		r.Add(Record{})
+	}
+	r.Reset()
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		tok := r.Add(Record{Time: int64(i), Point: PBegin, Choice: CSpin})
+		r.SetWait(tok, 10)
+		r.Resolve(tok, OJustified, 0)
+		if i++; i%200 == 0 {
+			r.Reset()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("decision hot path allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,214 @@
+package decision
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the decisions-export document format. It is
+// independent of harness.ExportSchemaVersion (the reports document stays
+// at v1); the two document kinds are distinguished by the Kind field,
+// which scripts/jsonverify dispatches on.
+const SchemaVersion = 2
+
+// ExportKind is the document discriminator for decisions exports.
+const ExportKind = "decisions"
+
+// Export is the machine-readable form of one or more decision-traced
+// runs. Encoding is deterministic: all fields are scalars and slices in
+// fixed order, so two runs at the same seed produce byte-identical files.
+type Export struct {
+	SchemaVersion int         `json:"schema_version"`
+	Kind          string      `json:"kind"`
+	Runs          []RunExport `json:"runs"`
+}
+
+// RunExport is one decision-traced run.
+type RunExport struct {
+	Name     string `json:"name"` // "workload/manager" display handle
+	Manager  string `json:"manager"`
+	Workload string `json:"workload"`
+	// Units is "cycles" (simulator) or "ns" (live STM).
+	Units   string `json:"units"`
+	Threads int    `json:"threads"`
+	Dropped int64  `json:"dropped"`
+
+	Regret  RegretExport   `json:"regret"`
+	Records []RecordExport `json:"records"`
+}
+
+// RegretExport mirrors Regret with stable snake_case names.
+type RegretExport struct {
+	Decisions          int64   `json:"decisions"`
+	Proceeds           int64   `json:"proceeds"`
+	Serializations     int64   `json:"serializations"`
+	Stalls             int64   `json:"stalls"`
+	Committed          int64   `json:"committed"`
+	Aborted            int64   `json:"aborted"`
+	Justified          int64   `json:"justified"`
+	Overcautious       int64   `json:"overcautious"`
+	Released           int64   `json:"released"`
+	TimedOut           int64   `json:"timed_out"`
+	Pending            int64   `json:"pending"`
+	OvercautionCycles  int64   `json:"overcaution_cycles"`
+	UndercautionCycles int64   `json:"undercaution_cycles"`
+	WaitCycles         int64   `json:"wait_cycles"`
+	StallWaitCycles    int64   `json:"stall_wait_cycles"`
+	TotalRegret        int64   `json:"total_regret"`
+	SerializeRate      float64 `json:"serialize_rate"`
+}
+
+// RecordExport mirrors Record with string enums and snake_case names.
+type RecordExport struct {
+	Time       int64   `json:"t"`
+	Tid        int32   `json:"tid"`
+	Stx        int32   `json:"stx"`
+	Attempt    int32   `json:"attempt"`
+	BeginIndex int64   `json:"begin_index,omitempty"`
+	Point      string  `json:"point"`
+	Choice     string  `json:"choice"`
+	Outcome    string  `json:"outcome"`
+	EnemyDTx   int32   `json:"enemy_dtx"`
+	EnemyStx   int32   `json:"enemy_stx"`
+	Confidence float64 `json:"confidence"`
+	Similarity float64 `json:"similarity"`
+	Wait       int64   `json:"wait"`
+	Wasted     int64   `json:"wasted"`
+}
+
+// NewExport starts an empty decisions document; append runs with AddRun.
+func NewExport() *Export {
+	return &Export{SchemaVersion: SchemaVersion, Kind: ExportKind}
+}
+
+// AddRun folds one recorded set into the document: records are merged
+// deterministically and the regret ledger is computed here so consumers
+// never re-derive it.
+func (e *Export) AddRun(manager, workload, units string, set *Set) {
+	recs := set.Merge()
+	run := RunExport{
+		Name:     workload + "/" + manager,
+		Manager:  manager,
+		Workload: workload,
+		Units:    units,
+		Threads:  set.Threads(),
+		Dropped:  set.Dropped(),
+		Regret:   newRegretExport(Estimate(recs)),
+		Records:  make([]RecordExport, 0, len(recs)),
+	}
+	for i := range recs {
+		r := &recs[i]
+		run.Records = append(run.Records, RecordExport{
+			Time:       r.Time,
+			Tid:        r.Tid,
+			Stx:        r.Stx,
+			Attempt:    r.Attempt,
+			BeginIndex: r.BeginIndex,
+			Point:      r.Point.String(),
+			Choice:     r.Choice.String(),
+			Outcome:    r.Outcome.String(),
+			EnemyDTx:   r.EnemyDTx,
+			EnemyStx:   r.EnemyStx,
+			Confidence: r.Confidence,
+			Similarity: r.Similarity,
+			Wait:       r.WaitCycles,
+			Wasted:     r.WastedCycles,
+		})
+	}
+	e.Runs = append(e.Runs, run)
+}
+
+func newRegretExport(g Regret) RegretExport {
+	return RegretExport{
+		Decisions:          g.Decisions,
+		Proceeds:           g.Proceeds,
+		Serializations:     g.Serializations,
+		Stalls:             g.Stalls,
+		Committed:          g.Committed,
+		Aborted:            g.Aborted,
+		Justified:          g.Justified,
+		Overcautious:       g.Overcautious,
+		Released:           g.Released,
+		TimedOut:           g.TimedOut,
+		Pending:            g.Pending,
+		OvercautionCycles:  g.OvercautionCycles,
+		UndercautionCycles: g.UndercautionCycles,
+		WaitCycles:         g.WaitCycles,
+		StallWaitCycles:    g.StallWaitCycles,
+		TotalRegret:        g.Total(),
+		SerializeRate:      g.SerializeRate(),
+	}
+}
+
+// EncodeJSON writes the export as indented JSON.
+func (e *Export) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// Validate checks the structural invariants scripts/jsonverify gates on:
+// the right schema version and kind, at least one run, known enum labels,
+// and per-run ledger/record consistency.
+func (e *Export) Validate() error {
+	if e.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("schema_version %d, want %d", e.SchemaVersion, SchemaVersion)
+	}
+	if e.Kind != ExportKind {
+		return fmt.Errorf("kind %q, want %q", e.Kind, ExportKind)
+	}
+	if len(e.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i := range e.Runs {
+		run := &e.Runs[i]
+		if run.Manager == "" || run.Workload == "" || run.Name == "" {
+			return fmt.Errorf("run %d: empty name/manager/workload", i)
+		}
+		if run.Units != "cycles" && run.Units != "ns" {
+			return fmt.Errorf("run %s: units %q, want cycles|ns", run.Name, run.Units)
+		}
+		if run.Threads <= 0 {
+			return fmt.Errorf("run %s: threads %d", run.Name, run.Threads)
+		}
+		if run.Regret.Decisions != int64(len(run.Records)) {
+			return fmt.Errorf("run %s: regret.decisions %d != %d records",
+				run.Name, run.Regret.Decisions, len(run.Records))
+		}
+		for j := range run.Records {
+			r := &run.Records[j]
+			if !validLabel(r.Point, pointLabels) {
+				return fmt.Errorf("run %s record %d: unknown point %q", run.Name, j, r.Point)
+			}
+			if !validLabel(r.Choice, choiceLabels) {
+				return fmt.Errorf("run %s record %d: unknown choice %q", run.Name, j, r.Choice)
+			}
+			if !validLabel(r.Outcome, outcomeLabels) {
+				return fmt.Errorf("run %s record %d: unknown outcome %q", run.Name, j, r.Outcome)
+			}
+			if r.Wait < 0 || r.Wasted < 0 {
+				return fmt.Errorf("run %s record %d: negative wait/wasted", run.Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Enum label tables for Validate, derived from the String methods so the
+// validator can never drift from the encoder.
+var (
+	pointLabels   = enumLabels(int(numPoints), func(i int) string { return Point(i).String() })
+	choiceLabels  = enumLabels(int(numChoices), func(i int) string { return Choice(i).String() })
+	outcomeLabels = enumLabels(int(numOutcomes), func(i int) string { return Outcome(i).String() })
+)
+
+func enumLabels(n int, name func(int) string) map[string]bool {
+	m := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		m[name(i)] = true
+	}
+	return m
+}
+
+func validLabel(s string, set map[string]bool) bool { return set[s] }

@@ -1,0 +1,93 @@
+package decision
+
+// Regret is the estimated-regret ledger over a decision stream: how much
+// time the scheduler's mistakes cost, split into the two failure modes
+// the paper's managers trade off.
+//
+//   - Overcaution: the thread serialized behind a predicted enemy whose
+//     committed line set never overlapped — the wait bought nothing.
+//   - Undercaution: the thread proceeded optimistically and the attempt
+//     aborted — the transactional work was thrown away.
+//
+// Units follow the stream: simulated cycles (sim) or nanoseconds (STM).
+// Stall (NACK) waits are tallied separately and excluded from Total:
+// a timed-out stall already surfaces as the subsequent abort's wasted
+// cycles, and double-charging it would overstate undercaution.
+type Regret struct {
+	Decisions int64 // records considered
+
+	Proceeds       int64 // begin decisions that proceeded
+	Serializations int64 // begin decisions that spun/yielded/blocked
+	Stalls         int64 // NACK stall decisions
+
+	Committed    int64 // proceeds that committed
+	Aborted      int64 // proceeds that aborted
+	Justified    int64 // serializations whose enemy really overlapped
+	Overcautious int64 // serializations whose enemy did not
+	Released     int64 // stalls resolved by the holder draining
+	TimedOut     int64 // stalls that gave up (or were doomed waiting)
+	Pending      int64 // records never settled (run ended first)
+
+	OvercautionCycles  int64 // wait spent on refuted serializations
+	UndercautionCycles int64 // work wasted by aborted proceeds
+	WaitCycles         int64 // all serialize wait, justified or not
+	StallWaitCycles    int64 // all NACK stall wait
+}
+
+// Total is the headline estimated regret: overcaution plus undercaution.
+func (g Regret) Total() int64 { return g.OvercautionCycles + g.UndercautionCycles }
+
+// SerializeRate is the fraction of begin decisions that serialized.
+func (g Regret) SerializeRate() float64 {
+	if d := g.Proceeds + g.Serializations; d > 0 {
+		return float64(g.Serializations) / float64(d)
+	}
+	return 0
+}
+
+// Estimate walks a decision stream (any order) and accumulates its
+// regret ledger.
+func Estimate(recs []Record) Regret {
+	var g Regret
+	for i := range recs {
+		r := &recs[i]
+		g.Decisions++
+		switch {
+		case r.Point == PNack:
+			g.Stalls++
+			g.StallWaitCycles += r.WaitCycles
+			switch r.Outcome {
+			case OReleased:
+				g.Released++
+			case OTimedOut:
+				g.TimedOut++
+			default:
+				g.Pending++
+			}
+		case r.Choice.Serializes():
+			g.Serializations++
+			g.WaitCycles += r.WaitCycles
+			switch r.Outcome {
+			case OJustified:
+				g.Justified++
+			case OOvercautious:
+				g.Overcautious++
+				g.OvercautionCycles += r.WaitCycles
+			default:
+				g.Pending++
+			}
+		default:
+			g.Proceeds++
+			switch r.Outcome {
+			case OCommitted:
+				g.Committed++
+			case OAborted:
+				g.Aborted++
+				g.UndercautionCycles += r.WastedCycles
+			default:
+				g.Pending++
+			}
+		}
+	}
+	return g
+}

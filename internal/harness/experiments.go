@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"abl-scaling", "Core-count scaling of Backoff vs PTS vs BFGTS-HW on a dense benchmark", AblScaling, warmScaling},
 		{"abl-alias", "Ablation: confidence-table aliasing (paper's future-work scheme)", AblAliasing, warmAliasing},
 		{"abl-suspend", "Ablation: spin-vs-yield suspend policy (Example 2's size test)", AblSuspend, warmSuspend},
+		{"regret", "Per-manager decision-regret accounting (overcaution vs undercaution)", Regret, warmRegret},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -112,14 +113,24 @@ type cacheEntry struct {
 	res  *sim.Result
 }
 
+// decCacheEntry is one memoized decision-traced simulation: the result
+// plus its decision set, which is read-only once done closes and so safe
+// to share across experiments.
+type decCacheEntry struct {
+	done chan struct{}
+	res  *sim.Result
+	set  *decision.Set
+}
+
 // Runner executes and caches simulations for one experiment session.
 // All methods are safe for concurrent use.
 type Runner struct {
 	cfg  Config
 	pool *Pool
 
-	mu    sync.Mutex
-	cache map[runKey]*cacheEntry
+	mu       sync.Mutex
+	cache    map[runKey]*cacheEntry
+	decCache map[runKey]*decCacheEntry
 }
 
 // NewRunner returns a fresh experiment session with its own worker pool
@@ -134,7 +145,12 @@ func newRunnerPool(cfg Config, pool *Pool) *Runner {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	return &Runner{cfg: cfg, pool: pool, cache: make(map[runKey]*cacheEntry)}
+	return &Runner{
+		cfg:      cfg,
+		pool:     pool,
+		cache:    make(map[runKey]*cacheEntry),
+		decCache: make(map[runKey]*decCacheEntry),
+	}
 }
 
 // Run simulates one (benchmark, manager) cell, memoizing by configuration.
@@ -175,6 +191,66 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 	})
 	res.ManagerName = m.Name
 	return res
+}
+
+// RunDecisions simulates one cell with a decision trace attached and
+// returns both the result and the merged-ready decision set. Decision
+// runs are memoized in their own singleflight cache (decision recording
+// is observer-only, so the result matches the plain cell cycle for
+// cycle); the returned set is read-only and shared — callers must not
+// Reset its shards.
+func (r *Runner) RunDecisions(f workload.Factory, m ManagerSpec) (*sim.Result, *decision.Set) {
+	key := runKey{f.Name(), m.Name, r.cfg.Cores, r.cfg.ThreadsPerCore, r.cfg.Seed, r.cfg.Scale, false, r.cfg.NoBatch}
+	r.mu.Lock()
+	if e, ok := r.decCache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.set
+	}
+	e := &decCacheEntry{done: make(chan struct{})}
+	r.decCache[key] = e
+	r.mu.Unlock()
+	defer close(e.done)
+	r.pool.do(func() {
+		w := f.New(scaledTxs(f, r.cfg.Scale))
+		set := decision.NewSet(r.cfg.Cores*r.cfg.ThreadsPerCore, 0)
+		res := sim.NewRunner(sim.RunConfig{
+			Cores:          r.cfg.Cores,
+			ThreadsPerCore: r.cfg.ThreadsPerCore,
+			Seed:           r.cfg.Seed,
+			Workload:       w,
+			NewManager:     m.New,
+			MaxCycles:      100_000_000_000,
+			Decisions:      set,
+			NoBatch:        r.cfg.NoBatch,
+		}).Run()
+		res.ManagerName = m.Name
+		e.res, e.set = res, set
+	})
+	return e.res, e.set
+}
+
+// ReplayFlips runs the counterfactual replayer on one cell: a decision-
+// traced base run plus one full re-run per sampled begin decision with
+// that decision inverted (sim.ReplayFlips). Replay re-simulates the
+// window up to maxFlips+1 times, so it is uncached and pool-bounded as
+// one long job.
+func (r *Runner) ReplayFlips(f workload.Factory, m ManagerSpec, maxFlips int) *sim.ReplayResult {
+	var out *sim.ReplayResult
+	r.pool.do(func() {
+		w := f.New(scaledTxs(f, r.cfg.Scale))
+		out = sim.ReplayFlips(sim.RunConfig{
+			Cores:          r.cfg.Cores,
+			ThreadsPerCore: r.cfg.ThreadsPerCore,
+			Seed:           r.cfg.Seed,
+			Workload:       w,
+			NewManager:     m.New,
+			MaxCycles:      100_000_000_000,
+			NoBatch:        r.cfg.NoBatch,
+		}, maxFlips)
+	})
+	out.Base.ManagerName = m.Name
+	return out
 }
 
 // Baseline simulates the single-core, single-thread reference run that

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/decision"
+	"repro/internal/sched"
+	"repro/internal/stamp"
+)
+
+// regretSpecs are the managers the regret report compares: the three
+// baselines of Figure 4 plus the paper's headline BFGTS variant at its
+// canonical 2048-bit Bloom size.
+func regretSpecs() []ManagerSpec {
+	return append(BaselineSpecs(), bfgtsSpec(sched.BFGTSHW, 2048, 0))
+}
+
+// warmRegret schedules every decision-traced cell the regret report needs.
+func warmRegret(r *Runner) {
+	var fns []func()
+	for _, f := range stamp.All() {
+		for _, m := range regretSpecs() {
+			fns = append(fns, func() { r.RunDecisions(f, m) })
+		}
+	}
+	fanOut(fns)
+}
+
+// Regret runs every (benchmark, manager) cell with the decision trace
+// attached and folds the stream through the estimated-regret accountant:
+// overcaution is cycles spent serialized behind enemies that never
+// overlapped, undercaution is work thrown away by optimistic proceeds
+// that aborted. Regret% normalizes their sum by the machine's total CPU
+// time (cores x makespan), so managers with different makespans stay
+// comparable.
+func Regret(r *Runner) *Report {
+	rep := &Report{
+		ID:      "regret",
+		Title:   "Decision regret per manager (over/under-caution Mcycles; regret as % of CPU time)",
+		Columns: []string{"Benchmark", "Manager", "Decisions", "Ser%", "OverMcyc", "UnderMcyc", "StallMcyc", "Regret%"},
+		Values:  map[string]float64{},
+	}
+	var droppedCells int
+	for _, f := range stamp.All() {
+		for _, m := range regretSpecs() {
+			res, set := r.RunDecisions(f, m)
+			g := decision.Estimate(set.Merge())
+			if set.Dropped() > 0 {
+				droppedCells++
+			}
+			cpu := float64(r.cfg.Cores) * float64(res.Makespan)
+			regretPct := 0.0
+			if cpu > 0 {
+				regretPct = 100 * float64(g.Total()) / cpu
+			}
+			rep.Rows = append(rep.Rows, []string{
+				f.Name(), m.Name,
+				fmt.Sprintf("%d", g.Decisions),
+				fmt.Sprintf("%.1f%%", 100*g.SerializeRate()),
+				fmt.Sprintf("%.2f", float64(g.OvercautionCycles)/1e6),
+				fmt.Sprintf("%.2f", float64(g.UndercautionCycles)/1e6),
+				fmt.Sprintf("%.2f", float64(g.StallWaitCycles)/1e6),
+				fmt.Sprintf("%.2f%%", regretPct),
+			})
+			key := f.Name() + "_" + m.Name
+			rep.Values["regret_"+key] = regretPct
+			rep.Values["serrate_"+key] = g.SerializeRate()
+			rep.Values["over_"+key] = float64(g.OvercautionCycles)
+			rep.Values["under_"+key] = float64(g.UndercautionCycles)
+		}
+	}
+	if droppedCells > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%d cell(s) hit the per-thread recorder cap; their ledgers undercount late decisions", droppedCells))
+	}
+	return rep
+}

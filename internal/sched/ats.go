@@ -86,7 +86,11 @@ func (a *ATS) OnBegin(tid, stx int) BeginResult {
 	a.queue = append(a.queue, tid)
 	a.metBlocks.Inc()
 	a.metQueueLen.Observe(float64(len(a.queue)))
-	return BeginResult{Action: Block, Overhead: a.queueOpCost}
+	return BeginResult{
+		Action:     Block,
+		Overhead:   a.queueOpCost,
+		Confidence: a.pressure.value(stx),
+	}
 }
 
 // OnCPUSlot implements Manager: ATS keeps no CPU table.

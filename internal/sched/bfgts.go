@@ -158,10 +158,13 @@ func (b *BFGTS) OnBegin(tid, stx int) BeginResult {
 	} else {
 		b.metSerSpin.Inc()
 	}
+	_, enemyStx := b.rt.Config().SplitDTx(pred.WaitDTx)
 	return BeginResult{
-		Action:   action,
-		WaitDTx:  pred.WaitDTx,
-		Overhead: pred.Cycles + dec.Cycles,
+		Action:     action,
+		WaitDTx:    pred.WaitDTx,
+		Overhead:   pred.Cycles + dec.Cycles,
+		Confidence: b.rt.Conf(stx, enemyStx),
+		Similarity: 0.5 * (b.rt.Similarity(self) + b.rt.Similarity(pred.WaitDTx)),
 	}
 }
 

@@ -46,6 +46,15 @@ type BeginResult struct {
 	Action   Action
 	WaitDTx  int   // for SpinWait: the transaction to wait out
 	Overhead int64 // cycles spent deciding (charged as scheduling time)
+
+	// Confidence and Similarity are the predictor inputs behind the
+	// decision, surfaced for the decision trace (internal/decision):
+	// BFGTS fills the bloom-confidence and similarity values, ATS its
+	// contention intensity, PTS its confidence count. Managers without a
+	// notion of either leave them zero. They carry no cycle cost and do
+	// not influence the runner.
+	Confidence float64
+	Similarity float64
 }
 
 // AbortResult is the outcome of OnAbort.

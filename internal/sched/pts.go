@@ -122,10 +122,11 @@ func (p *PTS) OnBegin(tid, stx int) BeginResult {
 			continue
 		}
 		scanned++
-		if p.conf[[2]int{self, dtx}] > p.Threshold {
+		if c := p.conf[[2]int{self, dtx}]; c > p.Threshold {
 			p.waitingOn[self] = dtx
 			res.Action = YieldRetry
 			res.WaitDTx = dtx
+			res.Confidence = c
 			p.metSerial.Inc()
 			break
 		}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/decision"
+	"repro/internal/workload"
+)
+
+// decisionCfg is a small contended configuration that exercises every
+// decision point: proceeds, serializations, NACK stalls, and aborts.
+func decisionCfg(mgr string, dec *decision.Set, flip int64) RunConfig {
+	w := newSynth("dec-"+mgr, 2, 25, 6)
+	w.body = 200
+	w.pre = 400
+	w.pick = func(tid, i int, rng *workload.RNG) int { return rng.Intn(10) }
+	w.stxOf = func(tid, i int) int { return i % 2 }
+	return RunConfig{
+		Cores:          4,
+		ThreadsPerCore: 2,
+		Seed:           77,
+		Workload:       w,
+		NewManager:     managerFactory(mgr),
+		MaxCycles:      2_000_000_000,
+		Decisions:      dec,
+		FlipBegin:      flip,
+	}
+}
+
+// TestDecisionsDoNotPerturb pins the observer property: attaching a
+// decision set changes nothing about the simulation — same makespan, same
+// commit/abort counts, same per-category breakdown.
+func TestDecisionsDoNotPerturb(t *testing.T) {
+	for _, mgr := range allManagers() {
+		plain := NewRunner(decisionCfg(mgr, nil, 0)).Run()
+		set := decision.NewSet(8, 0)
+		traced := NewRunner(decisionCfg(mgr, set, 0)).Run()
+		if !reflect.DeepEqual(plain, traced) {
+			t.Errorf("%s: decision recording perturbed the run: makespan %d vs %d",
+				mgr, plain.Makespan, traced.Makespan)
+		}
+		if set.Len() == 0 {
+			t.Errorf("%s: no decisions recorded", mgr)
+		}
+	}
+}
+
+// TestDecisionLedgerConsistency checks the recorded stream itself: begin
+// records carry begin indexes, settled serializations have waits, aborted
+// proceeds carry wasted cycles, and the regret ledger adds up.
+func TestDecisionLedgerConsistency(t *testing.T) {
+	set := decision.NewSet(8, 0)
+	res := NewRunner(decisionCfg("bfgts-hw", set, 0)).Run()
+	recs := set.Merge()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	var begins, proceeds int64
+	for i := range recs {
+		r := &recs[i]
+		switch r.Point {
+		case decision.PBegin:
+			begins++
+			if r.BeginIndex <= 0 {
+				t.Fatalf("begin record without index: %+v", *r)
+			}
+			if r.Choice == decision.CProceed {
+				proceeds++
+			}
+		case decision.PNack:
+			if r.BeginIndex != 0 {
+				t.Fatalf("nack record with begin index: %+v", *r)
+			}
+			if r.EnemyDTx < 0 {
+				t.Fatalf("nack record without holder: %+v", *r)
+			}
+		}
+		if r.WaitCycles < 0 || r.WastedCycles < 0 {
+			t.Fatalf("negative wait/wasted: %+v", *r)
+		}
+	}
+	g := decision.Estimate(recs)
+	if g.Decisions != int64(len(recs)) {
+		t.Fatalf("ledger decisions %d != %d records", g.Decisions, len(recs))
+	}
+	if g.Committed > res.Commits {
+		t.Fatalf("ledger committed %d > run commits %d", g.Committed, res.Commits)
+	}
+	if res.Aborts > 0 && g.Aborted+g.TimedOut == 0 {
+		t.Fatalf("run aborted %d times but ledger settled none", res.Aborts)
+	}
+	if g.Aborted > 0 && g.UndercautionCycles == 0 {
+		t.Fatal("aborted proceeds carried no wasted cycles")
+	}
+	if proceeds != g.Proceeds {
+		t.Fatalf("proceeds %d != ledger %d", proceeds, g.Proceeds)
+	}
+	_ = begins
+}
+
+// TestRecordedVsReplayedDeterminism is the differential the issue pins:
+// recording twice is byte-identical, and a replayed (flipped) run is
+// byte-identical to itself while measuring a real counterfactual.
+func TestRecordedVsReplayedDeterminism(t *testing.T) {
+	export := func(flip int64) ([]byte, int64) {
+		set := decision.NewSet(8, 0)
+		res := NewRunner(decisionCfg("bfgts-hw", set, flip)).Run()
+		e := decision.NewExport()
+		e.AddRun("BFGTS-HW", "dec-bfgts-hw", "cycles", set)
+		var buf bytes.Buffer
+		if err := e.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("export invalid: %v", err)
+		}
+		return buf.Bytes(), res.Makespan
+	}
+	a, ma := export(0)
+	b, mb := export(0)
+	if !bytes.Equal(a, b) || ma != mb {
+		t.Fatal("recorded run not byte-deterministic")
+	}
+	f1, mf1 := export(3)
+	f2, mf2 := export(3)
+	if !bytes.Equal(f1, f2) || mf1 != mf2 {
+		t.Fatal("flipped run not byte-deterministic")
+	}
+	if bytes.Equal(a, f1) {
+		t.Fatal("flipping begin #3 changed nothing — flip is not wired")
+	}
+}
+
+// TestReplayFlips runs the counterfactual replayer end to end and checks
+// each verdict against a direct flipped re-run.
+func TestReplayFlips(t *testing.T) {
+	cfg := decisionCfg("bfgts-hw", nil, 0)
+	rr := ReplayFlips(cfg, 4)
+	if rr.Base == nil || rr.Decisions.Len() == 0 {
+		t.Fatal("replay recorded nothing")
+	}
+	if len(rr.Flips) == 0 {
+		t.Fatal("no flips replayed")
+	}
+	if len(rr.Flips) > 4 {
+		t.Fatalf("replayed %d flips, asked for 4", len(rr.Flips))
+	}
+	for _, f := range rr.Flips {
+		if f.Choice == decision.CBlock {
+			t.Fatalf("replayed a block decision: %+v", f)
+		}
+		check := cfg
+		check.FlipBegin = f.BeginIndex
+		res := NewRunner(check).Run()
+		if res.Makespan != f.FlipMakespan {
+			t.Fatalf("flip %d: replayer says %d, direct run says %d",
+				f.BeginIndex, f.FlipMakespan, res.Makespan)
+		}
+		if f.Regret != f.FlipMakespan-f.BaseMakespan {
+			t.Fatalf("flip %d: regret arithmetic wrong: %+v", f.BeginIndex, f)
+		}
+	}
+	// The replayer itself must be deterministic.
+	rr2 := ReplayFlips(cfg, 4)
+	if !reflect.DeepEqual(rr.Flips, rr2.Flips) {
+		t.Fatal("replayer not deterministic")
+	}
+}
+
+// TestFlipAcrossManagers smoke-tests the flip hook against every manager
+// (Block decisions are left alone, so ATS must simply not crash or hang).
+func TestFlipAcrossManagers(t *testing.T) {
+	for _, mgr := range allManagers() {
+		for _, flip := range []int64{1, 5} {
+			res := NewRunner(decisionCfg(mgr, nil, flip)).Run()
+			if res.TimedOut {
+				t.Errorf("%s flip=%d timed out", mgr, flip)
+			}
+			if res.Commits == 0 {
+				t.Errorf("%s flip=%d committed nothing", mgr, flip)
+			}
+		}
+	}
+}
+
+// TestDecisionChromeExport exercises the sim → Chrome pipeline.
+func TestDecisionChromeExport(t *testing.T) {
+	set := decision.NewSet(8, 0)
+	NewRunner(decisionCfg("bfgts-hw", set, 0)).Run()
+	var c decision.ChromeTrace
+	c.AddRun(0, "dec-bfgts-hw/BFGTS-HW", set)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"ph":"M"`)) {
+		t.Fatal("no metadata events in chrome trace")
+	}
+}
+
+// TestDecisionRecorderBounded checks the cap + drop-counting discipline
+// under a real run.
+func TestDecisionRecorderBounded(t *testing.T) {
+	set := decision.NewSet(8, 4) // absurdly small cap
+	NewRunner(decisionCfg("bfgts-hw", set, 0)).Run()
+	if set.Dropped() == 0 {
+		t.Fatal("tiny cap dropped nothing")
+	}
+	for tid := 0; tid < 8; tid++ {
+		if n := len(set.Shard(tid).Records()); n > 4 {
+			t.Fatalf("shard %d holds %d records past cap", tid, n)
+		}
+	}
+}

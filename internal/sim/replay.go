@@ -1,0 +1,91 @@
+package sim
+
+import "repro/internal/decision"
+
+// FlipRegret is the counterfactual verdict on one recorded begin decision:
+// the makespan of the original run against the makespan of an otherwise
+// identical run with that single decision inverted. Because the engine is
+// deterministic and FlipBegin addresses decisions by their global OnBegin
+// index, the flipped run is exact — not an estimate.
+type FlipRegret struct {
+	// BeginIndex is the flipped decision's global OnBegin index (the value
+	// passed as RunConfig.FlipBegin).
+	BeginIndex int64
+	Tid        int32
+	Stx        int32
+	// Choice is what the manager originally decided.
+	Choice decision.Choice
+	// Outcome is how the original decision settled.
+	Outcome decision.Outcome
+
+	BaseMakespan int64
+	FlipMakespan int64
+	// Regret is FlipMakespan - BaseMakespan: positive means the original
+	// decision beat its counterfactual by that many cycles; negative means
+	// the opposite choice would have finished sooner.
+	Regret int64
+}
+
+// ReplayResult bundles a counterfactual replay: the instrumented base run,
+// its full decision trace, and the per-decision verdicts.
+type ReplayResult struct {
+	Base      *Result
+	Decisions *decision.Set
+	Flips     []FlipRegret
+}
+
+// ReplayFlips runs cfg once with decision recording, then re-runs the
+// whole window once per recorded begin decision — up to maxFlips of them,
+// evenly strided across the record stream — with that decision inverted,
+// charging each decision its exact regret. cfg.Decisions, cfg.FlipBegin,
+// cfg.Trace and cfg.Metrics are overridden; everything else (seed,
+// workload, manager, costs) is replayed verbatim.
+//
+// Block decisions are skipped (RunConfig.FlipBegin cannot invert them),
+// as are records dropped past the recorder cap.
+func ReplayFlips(cfg RunConfig, maxFlips int) *ReplayResult {
+	threads := cfg.Cores * cfg.ThreadsPerCore
+	base := cfg
+	base.Decisions = decision.NewSet(threads, 0)
+	base.FlipBegin = 0
+	base.Trace = nil
+	base.Metrics = nil
+	baseRes := NewRunner(base).Run()
+
+	recs := base.Decisions.Merge()
+	cand := make([]*decision.Record, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		if r.Point == decision.PBegin && r.BeginIndex > 0 && r.Choice != decision.CBlock {
+			cand = append(cand, r)
+		}
+	}
+	if maxFlips <= 0 {
+		maxFlips = 16
+	}
+	stride := 1
+	if len(cand) > maxFlips {
+		stride = len(cand) / maxFlips
+	}
+	out := &ReplayResult{Base: baseRes, Decisions: base.Decisions}
+	for i := 0; i < len(cand) && len(out.Flips) < maxFlips; i += stride {
+		r := cand[i]
+		flip := cfg
+		flip.Decisions = nil
+		flip.FlipBegin = r.BeginIndex
+		flip.Trace = nil
+		flip.Metrics = nil
+		flipRes := NewRunner(flip).Run()
+		out.Flips = append(out.Flips, FlipRegret{
+			BeginIndex:   r.BeginIndex,
+			Tid:          r.Tid,
+			Stx:          r.Stx,
+			Choice:       r.Choice,
+			Outcome:      r.Outcome,
+			BaseMakespan: baseRes.Makespan,
+			FlipMakespan: flipRes.Makespan,
+			Regret:       flipRes.Makespan - baseRes.Makespan,
+		})
+	}
+	return out
+}

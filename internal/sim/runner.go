@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -84,6 +85,23 @@ type RunConfig struct {
 	// (the differential tests pin this); the flag exists so the two paths
 	// can be cross-checked and regressions bisected.
 	NoBatch bool
+
+	// Decisions, if non-nil, receives one record per scheduling decision
+	// (serialize-vs-proceed at begin, stall on NACK) into the per-thread
+	// shards; it must have at least Cores*ThreadsPerCore shards. Recording
+	// only observes the run — it charges no cycles, draws no randomness,
+	// and schedules no events, so a run with Decisions set is cycle-
+	// identical to one without (pinned by TestDecisionsDoNotPerturb).
+	Decisions *decision.Set
+
+	// FlipBegin, when positive, inverts the manager's decision at the
+	// FlipBegin'th OnBegin call (1-based, counted across all threads in
+	// engine order): Proceed becomes YieldRetry, SpinWait/YieldRetry
+	// become Proceed. Block is left unchanged — undoing the central-queue
+	// handshake would desynchronize the manager. This is the counterfactual
+	// replay hook (ReplayFlips): re-running the same seed with one decision
+	// flipped measures exactly what that decision cost.
+	FlipBegin int64
 }
 
 // DefaultSampleInterval is the sampler period in simulated cycles.
@@ -189,6 +207,19 @@ type threadCtx struct {
 	// before the continuation fires.
 	batchHolder *tm.Tx
 
+	// Decision-trace state (only live when RunConfig.Decisions is set).
+	// dec is this thread's shard; the tokens reference pending records:
+	// the open proceed decision (settled at commit/abort), the latest
+	// serialize decision (wait settled at the next tryBegin, outcome at
+	// commit via decSer), and the open NACK stall.
+	dec           *decision.Recorder
+	decBeginTok   int
+	decSerTok     int
+	decSerStart   int64
+	decStallTok   int
+	decStallStart int64
+	beginIndex    int64 // global OnBegin index of the current attempt
+
 	*ctxScratch
 
 	// Cached continuations, bound once per run by bindContinuations.
@@ -231,6 +262,11 @@ type ctxScratch struct {
 	// Each entry is pinned in the TM so its line sets survive until then.
 	predWaits []*tm.Tx
 
+	// decSer holds this execution's pending serialize decisions for the
+	// decision trace: the record token plus the pinned enemy, settled
+	// justified/overcautious at commit exactly like predWaits.
+	decSer []pendingSer
+
 	// Exact-similarity profiling.
 	prevSet map[int]*bloom.ExactSet // per stx: previous committed set
 	sizeSum map[int]float64
@@ -238,6 +274,13 @@ type ctxScratch struct {
 	setFree []*bloom.ExactSet // recycled sets displaced from prevSet
 	estFA   *bloom.Filter     // scratch filters for Eq. 3 error profiling
 	estFB   *bloom.Filter
+}
+
+// pendingSer is one unsettled serialize decision: its record token and
+// the pinned transaction it waited behind.
+type pendingSer struct {
+	tok int
+	wtx *tm.Tx
 }
 
 var scratchPool = sync.Pool{New: func() any { return &ctxScratch{} }}
@@ -262,6 +305,10 @@ func (s *ctxScratch) release() {
 		s.predWaits[i] = nil
 	}
 	s.predWaits = s.predWaits[:0]
+	for i := range s.decSer {
+		s.decSer[i] = pendingSer{}
+	}
+	s.decSer = s.decSer[:0]
 	// Recycled sets are reset and therefore interchangeable: the free
 	// list's order never reaches an output, so the map's iteration order
 	// cannot break byte-identical results (sync.Pool handout order is
@@ -314,6 +361,11 @@ type Runner struct {
 
 	makespan int64
 	timedOut bool
+
+	// beginCalls counts OnBegin consultations across all threads in engine
+	// order — the coordinate system of RunConfig.FlipBegin and of every
+	// begin record's BeginIndex.
+	beginCalls int64
 
 	// noBatch mirrors cfg.NoBatch. batchNow is the logical time of the
 	// access currently executing inside a horizon batch (0 when no batch
@@ -406,11 +458,17 @@ func NewRunner(cfg RunConfig) *Runner {
 	for tid := 0; tid < nThreads; tid++ {
 		th := mac.AddThread(tid % cfg.Cores)
 		ctx := &threadCtx{
-			tid:        tid,
-			th:         th,
-			prog:       cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
-			waitDTx:    core.NoTx,
-			ctxScratch: getScratch(cfg.ProfileSimilarity),
+			tid:         tid,
+			th:          th,
+			prog:        cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
+			waitDTx:     core.NoTx,
+			ctxScratch:  getScratch(cfg.ProfileSimilarity),
+			decBeginTok: -1,
+			decSerTok:   -1,
+			decStallTok: -1,
+		}
+		if cfg.Decisions != nil && tid < cfg.Decisions.Threads() {
+			ctx.dec = cfg.Decisions.Shard(tid)
 		}
 		r.bindContinuations(ctx)
 		ctx.resume = ctx.contFetchNext
@@ -546,6 +604,30 @@ func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
 	ctx.predWaits = ctx.predWaits[:0]
 }
 
+// decOnCommit settles the execution's decision records at commit: the
+// proceed decision committed, and each recorded serialize decision is
+// classified by whether the pinned enemy's final line set really
+// overlapped the committer's — justified waits bought something,
+// overcautious ones paid WaitCycles for nothing.
+func (r *Runner) decOnCommit(ctx *threadCtx, tx *tm.Tx) {
+	if ctx.dec == nil {
+		return
+	}
+	ctx.dec.Resolve(ctx.decBeginTok, decision.OCommitted, 0)
+	ctx.decBeginTok = -1
+	for i := range ctx.decSer {
+		e := ctx.decSer[i]
+		o := decision.OOvercautious
+		if tx.ConflictsWith(e.wtx) {
+			o = decision.OJustified
+		}
+		ctx.dec.Resolve(e.tok, o, 0)
+		r.sys.Unpin(e.wtx)
+		ctx.decSer[i] = pendingSer{}
+	}
+	ctx.decSer = ctx.decSer[:0]
+}
+
 func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.th.Core }
 
 // simNow is the current logical simulation time: the engine clock, or —
@@ -662,12 +744,38 @@ func (r *Runner) runNonTx(ctx *threadCtx) {
 	}
 }
 
+// flipBegin inverts a begin decision for counterfactual replay: proceeds
+// become yields, serializations become proceeds. Block is left unchanged
+// (see RunConfig.FlipBegin).
+func flipBegin(res sched.BeginResult) sched.BeginResult {
+	switch res.Action {
+	case sched.Proceed:
+		res.Action = sched.YieldRetry
+		res.WaitDTx = core.NoTx
+	case sched.SpinWait, sched.YieldRetry:
+		res.Action = sched.Proceed
+		res.WaitDTx = core.NoTx
+	}
+	return res
+}
+
 // tryBegin consults the contention manager and acts on its decision.
 func (r *Runner) tryBegin(ctx *threadCtx) {
 	if ctx.execStart < 0 {
 		ctx.execStart = r.eng.Now()
 	}
+	// A pending serialize decision ends the moment the begin is retried:
+	// its wait is everything between the suspension and now.
+	if ctx.decSerTok >= 0 {
+		ctx.dec.SetWait(ctx.decSerTok, r.eng.Now()-ctx.decSerStart)
+		ctx.decSerTok = -1
+	}
 	res := r.mgr.OnBegin(ctx.tid, ctx.desc.STx)
+	r.beginCalls++
+	ctx.beginIndex = r.beginCalls
+	if r.cfg.FlipBegin == r.beginCalls {
+		res = flipBegin(res)
+	}
 	if res.Overhead > 0 {
 		ctx.th.Charge(CatScheduling, res.Overhead)
 	}
@@ -682,10 +790,70 @@ func (r *Runner) tryBegin(ctx *threadCtx) {
 	r.eng.AfterHandle(res.Overhead, ctx.hBeginAct)
 }
 
+// decChoiceOf maps a begin action to its decision-trace choice.
+func decChoiceOf(a sched.Action) decision.Choice {
+	switch a {
+	case sched.SpinWait:
+		return decision.CSpin
+	case sched.YieldRetry:
+		return decision.CYield
+	case sched.Block:
+		return decision.CBlock
+	default:
+		return decision.CProceed
+	}
+}
+
+// decOnBegin records the begin decision once it is acted on: proceeds open
+// a token settled at commit/abort; serializations open a wait token
+// settled at the next tryBegin, with the enemy pinned (like predWaits) so
+// the commit can classify the wait justified or overcautious.
+func (r *Runner) decOnBegin(ctx *threadCtx, res sched.BeginResult) {
+	if ctx.dec == nil {
+		return
+	}
+	choice := decChoiceOf(res.Action)
+	rec := decision.Record{
+		Time:       r.eng.Now(),
+		BeginIndex: ctx.beginIndex,
+		Tid:        int32(ctx.tid),
+		Stx:        int32(ctx.desc.STx),
+		Attempt:    int32(ctx.attempts + 1),
+		Point:      decision.PBegin,
+		Choice:     choice,
+		EnemyDTx:   -1,
+		EnemyStx:   -1,
+		Confidence: res.Confidence,
+		Similarity: res.Similarity,
+	}
+	if choice == decision.CProceed {
+		ctx.decBeginTok = ctx.dec.Add(rec)
+		return
+	}
+	enemy := core.NoTx
+	if choice != decision.CBlock { // Block (ATS) has no per-tx enemy
+		enemy = res.WaitDTx
+		rec.EnemyDTx = int32(enemy)
+		rec.EnemyStx = int32(r.stxOfDTx(enemy))
+	}
+	tok := ctx.dec.Add(rec)
+	ctx.decSerTok = tok
+	ctx.decSerStart = r.eng.Now()
+	if tok < 0 || len(ctx.decSer) >= predWaitCap {
+		return
+	}
+	if wtx := r.sys.ActiveTx(enemy); wtx != nil {
+		//bfgts:pin-handoff finishCommit settles and unpins every decSer entry
+		r.sys.Pin(wtx)
+		ctx.decSer = append(ctx.decSer, pendingSer{tok: tok, wtx: wtx})
+	}
+}
+
 // actOnBegin acts on the manager's begin decision once its overhead has
 // elapsed.
 func (r *Runner) actOnBegin(ctx *threadCtx) {
 	res := ctx.beginRes
+	r.decOnBegin(ctx, res)
 	switch res.Action {
 	case sched.Proceed:
 		r.startTx(ctx)
@@ -937,6 +1105,19 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 	ctx.holder = holder
 	ctx.chargeMark = r.eng.Now()
 	r.emit(ctx, trace.KStall, holder.DTx, holder.STx, 0)
+	if ctx.dec != nil {
+		ctx.decStallTok = ctx.dec.Add(decision.Record{
+			Time:     r.eng.Now(),
+			Tid:      int32(ctx.tid),
+			Stx:      int32(ctx.desc.STx),
+			Attempt:  int32(ctx.attempts),
+			Point:    decision.PNack,
+			Choice:   decision.CStall,
+			EnemyDTx: int32(holder.DTx),
+			EnemyStx: int32(holder.STx),
+		})
+		ctx.decStallStart = r.eng.Now()
+	}
 	r.stallWaiters[holder] = append(r.stallWaiters[holder], ctx)
 	budget := r.cfg.TMCosts.StallTimeout
 	if sp, ok := r.mgr.(sched.StallPolicy); ok {
@@ -965,6 +1146,7 @@ func (r *Runner) stallTimeout(ctx *threadCtx, gen uint64) {
 	holder := ctx.holder
 	// Timed out: give up and abort (LogTM's conservative discipline).
 	r.chargeSpin(ctx, CatTx)
+	r.decSettleStall(ctx, decision.OTimedOut)
 	ctx.state = stIdle
 	ctx.waitGen++
 	r.dropStallWaiter(ctx)
@@ -986,6 +1168,16 @@ func (r *Runner) dropStallWaiter(ctx *threadCtx) {
 	}
 }
 
+// decSettleStall settles the thread's pending NACK-stall record, if any.
+func (r *Runner) decSettleStall(ctx *threadCtx, o decision.Outcome) {
+	if ctx.decStallTok < 0 {
+		return
+	}
+	ctx.dec.SetWait(ctx.decStallTok, r.simNow()-ctx.decStallStart)
+	ctx.dec.Resolve(ctx.decStallTok, o, 0)
+	ctx.decStallTok = -1
+}
+
 // onTxReleased wakes every thread stalled behind tx (line stalls retry the
 // access, begin spins retry the begin).
 func (r *Runner) onTxReleased(tx *tm.Tx) {
@@ -994,6 +1186,7 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 			continue
 		}
 		r.chargeSpin(ctx, CatTx)
+		r.decSettleStall(ctx, decision.OReleased)
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.holder = nil
@@ -1024,6 +1217,7 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 		return
 	}
 	r.chargeSpin(ctx, CatTx)
+	r.decSettleStall(ctx, decision.OTimedOut) // doomed while waiting
 	ctx.state = stIdle
 	ctx.waitGen++
 	r.dropStallWaiter(ctx)
@@ -1055,6 +1249,7 @@ func (r *Runner) finishCommit(ctx *threadCtx) {
 		r.profileCommit(ctx, size)
 	}
 	r.classifyPredWaits(ctx, tx)
+	r.decOnCommit(ctx, tx)
 	r.sys.Commit(tx)
 	r.commitsPerStx[ctx.desc.STx]++
 	r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
@@ -1116,6 +1311,18 @@ func (r *Runner) profileCommit(ctx *threadCtx, size int) {
 // the begin is retried.
 func (r *Runner) abortTx(ctx *threadCtx) {
 	tx := ctx.tx
+	if ctx.dec != nil {
+		// The proceed decision is refuted: charge the attempt's wasted
+		// transactional cycles as undercaution and attribute the abort to
+		// the dooming transaction. A still-open stall record (doom noticed
+		// at a step boundary) timed out implicitly.
+		ctx.dec.SetEnemy(ctx.decBeginTok,
+			int32(tx.DoomedByTid*r.cfg.Workload.NumStatic()+tx.DoomedByStx),
+			int32(tx.DoomedByStx))
+		ctx.dec.Resolve(ctx.decBeginTok, decision.OAborted, ctx.txCycles)
+		ctx.decBeginTok = -1
+		r.decSettleStall(ctx, decision.OTimedOut)
+	}
 	// Recategorize this attempt's transactional cycles as wasted.
 	ctx.th.Charge(CatTx, -ctx.txCycles)
 	ctx.th.Charge(CatAbort, ctx.txCycles)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/core"
+	"repro/internal/decision"
 )
 
 // bfgtsManager is the paper's Bloom-filter-guided scheduler as a
@@ -52,6 +53,7 @@ type bfgtsStat struct {
 	commits    int64
 	sinceSim   int
 	waitingOn  int // dtx this execution serialized behind, or core.NoTx
+	decTok     int // pending serialize decision token, or -1 (settled by validate)
 	hasHistory bool
 
 	_ [15]byte // round toward a cache line against false sharing
@@ -114,6 +116,7 @@ func newBFGTSManager(s *System) *bfgtsManager {
 	for i := range m.stats {
 		m.stats[i].simBits.Store(math.Float64bits(initialSim))
 		m.stats[i].waitingOn = core.NoTx
+		m.stats[i].decTok = -1
 	}
 	for i := range m.sigs {
 		for p := 0; p < 2; p++ {
@@ -136,6 +139,7 @@ func (m *bfgtsManager) Name() string { return "BFGTS" }
 //bfgts:allocfree
 func (m *bfgtsManager) OnBegin(worker, stx, dtx, attempt int) {
 	w := &m.sys.workers[worker]
+	dec := m.sys.decShard(worker)
 	rounds := 0
 	for {
 		enemy := m.predict(worker, stx)
@@ -147,13 +151,42 @@ func (m *bfgtsManager) OnBegin(worker, stx, dtx, attempt int) {
 			m.sys.met.beginEscapes.Add(1)
 			return
 		}
-		if m.suspend(dtx, enemy) {
+		yield := m.suspend(dtx, enemy)
+		// Record the suspension with the inputs that drove it; the wait is
+		// measured around the sleep/stall, and validate settles the outcome
+		// at commit. Each round overwrites decTok, mirroring waitingOn:
+		// only the final suspension of an execution is validated.
+		tok, t0 := -1, int64(0)
+		if dec != nil {
+			choice := decision.CSpin
+			if yield {
+				choice = decision.CYield
+			}
+			t0 = m.sys.decNow()
+			tok = dec.Add(decision.Record{
+				Time:       t0,
+				Tid:        int32(worker),
+				Stx:        int32(stx),
+				Attempt:    int32(attempt + 1),
+				Point:      decision.PBegin,
+				Choice:     choice,
+				EnemyDTx:   int32(enemy),
+				EnemyStx:   int32(enemy % m.sys.cfg.StaticTxs),
+				Confidence: m.conf.Load(stx, enemy%m.sys.cfg.StaticTxs),
+				Similarity: 0.5 * (m.stats[dtx].sim() + m.stats[enemy].sim()),
+			})
+			m.stats[dtx].decTok = tok
+		}
+		if yield {
 			m.sys.met.yields.Add(1)
 			time.Sleep(yieldSleep + w.jitter(int64(yieldSleep)))
-			continue
+		} else {
+			m.sys.met.stalls.Add(1)
+			m.stallOn(enemy)
 		}
-		m.sys.met.stalls.Add(1)
-		m.stallOn(enemy)
+		if dec != nil {
+			dec.SetWait(tok, m.sys.decNow()-t0)
+		}
 	}
 }
 
@@ -305,7 +338,8 @@ func (m *bfgtsManager) validate(st *bfgtsStat, stx, dtx int) {
 	sp := &sslot.pair[sslot.cur.Load()]
 	sim := 0.5 * (st.sim() + m.stats[waited].sim())
 	wstx := waited % m.sys.cfg.StaticTxs
-	if sp.rw.OverlapSignificant(wp.w) || wp.rw.OverlapSignificant(sp.w) {
+	justified := sp.rw.OverlapSignificant(wp.w) || wp.rw.OverlapSignificant(sp.w)
+	if justified {
 		inc := m.incVal * sim
 		if floor := m.incVal * 0.30; inc < floor {
 			inc = floor
@@ -315,6 +349,18 @@ func (m *bfgtsManager) validate(st *bfgtsStat, stx, dtx int) {
 	} else {
 		m.conf.Add(stx, wstx, -m.decayVal*(1-sim))
 		m.sys.met.validMisses.Add(1)
+	}
+	// Settle the recorded suspension with the same verdict the confidence
+	// loop just acted on. The owner's shard: dtx/StaticTxs is the worker.
+	if st.decTok >= 0 {
+		if dec := m.sys.decShard(dtx / m.sys.cfg.StaticTxs); dec != nil {
+			o := decision.OOvercautious
+			if justified {
+				o = decision.OJustified
+			}
+			dec.Resolve(st.decTok, o, 0)
+		}
+		st.decTok = -1
 	}
 }
 

@@ -1,0 +1,118 @@
+package stm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/decision"
+)
+
+// TestDecisionRecordingLive drives a contended live System with decision
+// recording on and checks the stream: every worker's attempts show up as
+// proceed records, aborted attempts carry wall-time waste, and the export
+// validates under the "ns" unit.
+func TestDecisionRecordingLive(t *testing.T) {
+	const workers, iters = 4, 300
+	set := decision.NewSet(workers, 0)
+	sys := NewSystem(Config{
+		Workers: workers, StaticTxs: 2, Scheduler: SchedBFGTS,
+		Decisions: set,
+	})
+	shared := NewTVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := sys.Atomic(w, w%2, func(tx *Tx) error {
+					shared.Write(tx, shared.Read(tx)+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := shared.Peek(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+
+	recs := set.Merge()
+	g := decision.Estimate(recs)
+	if g.Proceeds < workers*iters {
+		t.Fatalf("proceeds %d < %d atomic attempts", g.Proceeds, workers*iters)
+	}
+	if g.Committed != workers*iters {
+		t.Fatalf("committed %d, want %d", g.Committed, workers*iters)
+	}
+	if g.Aborted != sys.Aborts() {
+		t.Fatalf("ledger aborts %d != system aborts %d", g.Aborted, sys.Aborts())
+	}
+	if g.Aborted > 0 && g.UndercautionCycles == 0 {
+		t.Fatal("aborted attempts carried no wall-time waste")
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Point != decision.PBegin {
+			t.Fatalf("unexpected decision point in STM stream: %+v", *r)
+		}
+		if r.Choice.Serializes() && r.EnemyDTx < 0 {
+			t.Fatalf("serialization without enemy: %+v", *r)
+		}
+	}
+
+	e := decision.NewExport()
+	e.AddRun("BFGTS", "counter", "ns", set)
+	if err := e.Validate(); err != nil {
+		t.Fatalf("live export invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := e.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var c decision.ChromeTrace
+	c.AddRun(0, "counter/BFGTS", set)
+	buf.Reset()
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecisionRecordingAllocFreeLive pins the recording overhead on the
+// live hot path: a read-only transaction with decision recording enabled
+// must still allocate nothing once the shard's storage is warm.
+func TestDecisionRecordingAllocFreeLive(t *testing.T) {
+	set := decision.NewSet(1, 1<<14)
+	sys := NewSystem(Config{Workers: 1, StaticTxs: 1, Scheduler: SchedBFGTS, Decisions: set})
+	v := NewTVar(7)
+	run := func() {
+		if err := sys.Atomic(0, 0, func(tx *Tx) error {
+			v.Read(tx)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm pooled capacities
+	// Pre-grow the shard to its cap so append never reallocates mid-gate,
+	// then recycle it between runs.
+	sh := set.Shard(0)
+	for sh.Add(decision.Record{}) >= 0 {
+	}
+	sh.Reset()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		run()
+		if i++; i%1000 == 0 {
+			sh.Reset()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recorded read-only transaction allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -48,8 +48,10 @@ package stm
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 )
 
 // Config parameterizes a System.
@@ -67,6 +69,13 @@ type Config struct {
 	// NewManager, when non-nil, overrides Scheduler with a custom
 	// contention manager bound to the System under construction.
 	NewManager func(*System) ContentionManager
+
+	// Decisions, if non-nil, receives one record per scheduling decision
+	// (each Atomic attempt's proceed, each BFGTS spin/yield suspension)
+	// into the per-worker shards; it must have at least Workers shards.
+	// Times are wall nanoseconds since NewSystem. Recording is lock-free
+	// and allocation-free: each worker writes only its own shard.
+	Decisions *decision.Set
 }
 
 // systemIDs mints process-unique System identities for writer stamps.
@@ -88,6 +97,9 @@ type System struct {
 
 	mgr ContentionManager
 	met stmMetrics
+
+	// epoch is the Record.Time zero of the decision trace.
+	epoch time.Time
 }
 
 // NewSystem builds a System.
@@ -109,6 +121,7 @@ func NewSystem(cfg Config) *System {
 		id:      systemIDs.Add(1),
 		running: make([]atomic.Int64, cfg.Workers),
 		workers: make([]workerState, cfg.Workers),
+		epoch:   time.Now(),
 	}
 	for i := range s.running {
 		s.running[i].Store(int64(core.NoTx))
@@ -137,6 +150,23 @@ func (s *System) Commits() int64 { return s.met.commits.Load() }
 
 // Aborts returns the number of aborted transaction attempts.
 func (s *System) Aborts() int64 { return s.met.aborts.Load() }
+
+// decShard returns the worker's decision-trace shard, or nil when
+// decision recording is off. Each worker slot is single-flight, so the
+// shard needs no lock.
+//
+//bfgts:allocfree
+func (s *System) decShard(worker int) *decision.Recorder {
+	if s.cfg.Decisions == nil || worker >= s.cfg.Decisions.Threads() {
+		return nil
+	}
+	return s.cfg.Decisions.Shard(worker)
+}
+
+// decNow is the decision-trace clock: wall nanoseconds since NewSystem.
+//
+//bfgts:allocfree
+func (s *System) decNow() int64 { return int64(time.Since(s.epoch)) }
 
 // RunningDTx returns the dynamic transaction executing on a worker, or
 // core.NoTx — one atomic load, for managers scanning the CPU table.
@@ -331,15 +361,36 @@ func (s *System) Atomic(worker, stx int, fn func(*Tx) error) error {
 	s.met.begins.Add(1)
 	tx := &w.tx
 	tx.sys, tx.worker, tx.stx, tx.dtx = s, worker, stx, dtx
+	dec := s.decShard(worker)
 	attempt := 0
 	for {
 		s.mgr.OnBegin(worker, stx, dtx, attempt)
 		tx.reset(globalClock.Load())
+		// Record the optimistic proceed: every attempt that reaches here
+		// decided to run. Settled below — committed, or aborted with the
+		// attempt's wall time charged as undercaution.
+		tok, t0 := -1, int64(0)
+		if dec != nil {
+			t0 = s.decNow()
+			tok = dec.Add(decision.Record{
+				Time:     t0,
+				Tid:      int32(worker),
+				Stx:      int32(stx),
+				Attempt:  int32(attempt + 1),
+				Point:    decision.PBegin,
+				Choice:   decision.CProceed,
+				EnemyDTx: -1,
+				EnemyStx: -1,
+			})
+		}
 		s.running[worker].Store(int64(dtx))
 		err, aborted := tx.run(fn)
 		s.running[worker].Store(int64(core.NoTx))
 		if !aborted {
 			if err == nil {
+				if dec != nil {
+					dec.Resolve(tok, decision.OCommitted, 0)
+				}
 				s.met.commits.Add(1)
 				s.commitBookkeeping(w, tx)
 			}
@@ -347,7 +398,14 @@ func (s *System) Atomic(worker, stx int, fn func(*Tx) error) error {
 		}
 		s.met.aborts.Add(1)
 		attempt++
-		s.mgr.OnAbort(worker, stx, dtx, s.enemyDTx(tx.enemy), attempt)
+		enemy := s.enemyDTx(tx.enemy)
+		if dec != nil {
+			if enemy != core.NoTx {
+				dec.SetEnemy(tok, int32(enemy), int32(enemy%s.cfg.StaticTxs))
+			}
+			dec.Resolve(tok, decision.OAborted, s.decNow()-t0)
+		}
+		s.mgr.OnAbort(worker, stx, dtx, enemy, attempt)
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"repro/internal/decision"
 )
 
 // Kind labels a transaction lifecycle event.
@@ -33,7 +35,9 @@ const (
 	numKinds
 )
 
-// String returns the event label used in trace output.
+// String returns the event label used in trace output. Out-of-range
+// kinds render as "invalid(N)" so a corrupted stream is visible in the
+// output instead of collapsing to an anonymous "?".
 func (k Kind) String() string {
 	switch k {
 	case KBegin:
@@ -47,8 +51,15 @@ func (k Kind) String() string {
 	case KCommit:
 		return "commit"
 	default:
-		return "?"
+		return fmt.Sprintf("invalid(%d)", uint8(k))
 	}
+}
+
+// HasOther reports whether events of this kind carry a counterparty in
+// Other/OtherStx (suspend/stall/abort). Begin and commit events have no
+// counterparty; Add normalizes their Other fields to -1.
+func (k Kind) HasOther() bool {
+	return k == KSuspend || k == KStall || k == KAbort
 }
 
 // Event is one trace record.
@@ -71,13 +82,18 @@ type Recorder struct {
 	Cap     int // maximum retained events; <=0 means DefaultCap
 	events  []Event
 	dropped int64
+	invalid int64
 	counts  [numKinds]int64
 }
 
 // DefaultCap bounds recorders that do not set Cap.
 const DefaultCap = 1 << 20
 
-// Add records an event (or counts a drop past the cap).
+// Add records an event (or counts a drop past the cap). Events whose
+// kind has no counterparty get Other/OtherStx normalized to -1, so a
+// stale counterparty left in a reused Event struct cannot leak into the
+// stream; out-of-range kinds are retained (the stream stays honest) but
+// tallied in Invalid.
 func (r *Recorder) Add(e Event) {
 	cap := r.Cap
 	if cap <= 0 {
@@ -87,9 +103,14 @@ func (r *Recorder) Add(e Event) {
 		r.dropped++
 		return
 	}
+	if !e.Kind.HasOther() {
+		e.Other, e.OtherStx = -1, -1
+	}
 	r.events = append(r.events, e)
 	if e.Kind < numKinds {
 		r.counts[e.Kind]++
+	} else {
+		r.invalid++
 	}
 }
 
@@ -98,6 +119,9 @@ func (r *Recorder) Events() []Event { return r.events }
 
 // Dropped returns how many events exceeded the cap.
 func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Invalid returns how many retained events carried an out-of-range kind.
+func (r *Recorder) Invalid() int64 { return r.invalid }
 
 // Counts tallies retained events per kind. The tallies are maintained
 // incrementally by Add, so this is O(kinds), not O(events).
@@ -137,6 +161,39 @@ func (r *Recorder) Summary() string {
 	c := r.Counts()
 	return fmt.Sprintf("events=%d begin=%d suspend=%d stall=%d abort=%d commit=%d dropped=%d",
 		len(r.events), c[KBegin], c[KSuspend], c[KStall], c[KAbort], c[KCommit], r.dropped)
+}
+
+// WriteChrome lays the trace out as Chrome trace_event JSON (the format
+// internal/decision's exporter produces), openable directly in Perfetto:
+// one process named `name`, one track per thread, commits as spans
+// covering their latency (Extra) and every other event as an instant
+// annotated with its counterparty.
+func (r *Recorder) WriteChrome(w io.Writer, name string) error {
+	var c decision.ChromeTrace
+	c.AddProcess(0, name)
+	seen := make(map[int]bool)
+	for i := range r.events {
+		if tid := r.events[i].Tid; !seen[tid] {
+			seen[tid] = true
+			c.AddThread(0, tid, "thread")
+		}
+	}
+	for i := range r.events {
+		e := &r.events[i]
+		args := map[string]any{"stx": e.Stx, "attempt": e.Attempt}
+		if e.Kind.HasOther() {
+			args["other"] = e.Other
+			args["other_stx"] = e.OtherStx
+		}
+		if e.Kind == KCommit && e.Extra > 0 {
+			// Extra is the commit latency: draw the whole execution.
+			c.AddSpan(0, e.Tid, e.Kind.String(), e.Time-e.Extra, e.Extra, args)
+			continue
+		}
+		c.AddInstant(0, e.Tid, e.Kind.String(), e.Time, args)
+	}
+	_, err := c.WriteTo(w)
+	return err
 }
 
 // ConflictChains extracts, per (stx, other-stx) pair, how many times a

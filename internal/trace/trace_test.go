@@ -54,10 +54,100 @@ func TestWriteJSONL(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KBegin: "begin", KSuspend: "suspend", KStall: "stall",
-		KAbort: "abort", KCommit: "commit", Kind(200): "?",
+		KAbort: "abort", KCommit: "commit", Kind(200): "invalid(200)",
 	} {
 		if k.String() != want {
 			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestRecorderCapBoundary pins the drop accounting at the exact edge:
+// filling to Cap drops nothing, one more drops exactly one.
+func TestRecorderCapBoundary(t *testing.T) {
+	const cap = 5
+	r := Recorder{Cap: cap}
+	for i := 0; i < cap; i++ {
+		r.Add(Event{Time: int64(i), Kind: KBegin})
+	}
+	if len(r.Events()) != cap || r.Dropped() != 0 {
+		t.Fatalf("at Cap: events=%d dropped=%d, want %d/0", len(r.Events()), r.Dropped(), cap)
+	}
+	r.Add(Event{Time: cap, Kind: KCommit})
+	if len(r.Events()) != cap || r.Dropped() != 1 {
+		t.Fatalf("at Cap+1: events=%d dropped=%d, want %d/1", len(r.Events()), r.Dropped(), cap)
+	}
+	// The dropped event must not leak into the kind counters either.
+	if c := r.Counts(); c[KCommit] != 0 || c[KBegin] != cap {
+		t.Fatalf("counts after boundary drop = %v", c)
+	}
+}
+
+// TestOtherNormalized: kinds without a counterparty cannot carry one —
+// stale Other fields from a reused Event struct are scrubbed to -1.
+func TestOtherNormalized(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KBegin, Other: 7, OtherStx: 3})   // stale counterparty
+	r.Add(Event{Kind: KCommit, Other: 9, OtherStx: 1})  // stale counterparty
+	r.Add(Event{Kind: KSuspend, Other: 7, OtherStx: 3}) // real counterparty
+	evs := r.Events()
+	if evs[0].Other != -1 || evs[0].OtherStx != -1 {
+		t.Fatalf("begin kept counterparty: %+v", evs[0])
+	}
+	if evs[1].Other != -1 || evs[1].OtherStx != -1 {
+		t.Fatalf("commit kept counterparty: %+v", evs[1])
+	}
+	if evs[2].Other != 7 || evs[2].OtherStx != 3 {
+		t.Fatalf("suspend lost counterparty: %+v", evs[2])
+	}
+}
+
+// TestInvalidKindCounted: out-of-range kinds are retained but tallied.
+func TestInvalidKindCounted(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Kind: KBegin})
+	r.Add(Event{Kind: Kind(200)})
+	if r.Invalid() != 1 {
+		t.Fatalf("Invalid() = %d, want 1", r.Invalid())
+	}
+	if len(r.Events()) != 2 {
+		t.Fatalf("invalid event not retained: %d events", len(r.Events()))
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"kind":"invalid(200)"`) {
+		t.Fatalf("invalid kind not surfaced in output:\n%s", sb.String())
+	}
+}
+
+// TestWriteChrome checks the Chrome adapter: metadata for the process
+// and each thread, a commit span covering its latency, instants for the
+// rest, and deterministic bytes across two writes.
+func TestWriteChrome(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Time: 100, Kind: KBegin, Tid: 0, Stx: 1, Attempt: 1})
+	r.Add(Event{Time: 150, Kind: KSuspend, Tid: 1, Stx: 0, Attempt: 1, Other: 5, OtherStx: 1})
+	r.Add(Event{Time: 400, Kind: KCommit, Tid: 0, Stx: 1, Attempt: 1, Extra: 300})
+	var a, b bytes.Buffer
+	if err := r.WriteChrome(&a, "bench/mgr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChrome(&b, "bench/mgr"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteChrome output is not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`"traceEvents"`, `"process_name"`, `"thread_name"`,
+		`"ph":"X"`, `"ph":"i"`, `"name":"commit"`, `"name":"suspend"`,
+		`"other_stx":1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome output missing %s:\n%s", want, out)
 		}
 	}
 }

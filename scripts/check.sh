@@ -33,6 +33,15 @@ go run ./scripts/jsonverify "$tmp"
 stmtmp="$workdir/stm.json"
 go run ./cmd/stmbench -workers 2 -ops 200 -workloads counter,zipf -quiet -json-out "$stmtmp"
 go run ./scripts/jsonverify "$stmtmp"
+# Decision-trace round trip: a small single run must emit a schema-v2
+# decisions document and a well-formed Chrome trace, both passing the
+# jsonverify dispatch (it routes on document shape).
+dectmp="$workdir/decisions.json"
+chrometmp="$workdir/decisions.trace.json"
+go run ./cmd/bfgts-sim -bench intruder -scale 0.02 -quiet \
+	-decisions-out "$dectmp" -trace-chrome "$chrometmp" >/dev/null
+go run ./scripts/jsonverify "$dectmp"
+go run ./scripts/jsonverify "$chrometmp"
 # Bench smoke: compile and run each hot-path microbenchmark once. The
 # paired Test*AllocFree tests already gate the 0 allocs/op contract; this
 # catches benchmarks that rot until release time.
