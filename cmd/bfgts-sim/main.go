@@ -71,6 +71,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "run the experiment across this many seeds and report mean±sd")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
 	noBatch := flag.Bool("no-batch", false, "disable horizon-batched execution (legacy per-access events; identical output, slower)")
+	noBloofi := flag.Bool("no-bloofi", false, "disable the Bloofi signature directory (linear begin-time scans; identical output, slower at high core counts)")
 	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -111,7 +112,7 @@ func main() {
 		}()
 	}
 
-	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel, NoBatch: *noBatch}
+	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel, NoBatch: *noBatch, NoBloofi: *noBloofi}
 	if !*quiet {
 		var mu sync.Mutex
 		done := 0

@@ -30,13 +30,19 @@ var gateEntryPoints = map[string][]string{
 		"EstimateCardinality", "EstimateIntersection",
 		"EstimateIntersectionErrorInto",
 	},
-	"stm": { // TestReadOnlyPathAllocFree / TestAbortRetryPathAllocFree / TestCommitPathAllocs
+	"bloofi": { // TestBloofiTreeAllocFree / TestAtomicTreeAllocFree
+		"Insert", "Remove", "Set", "Clear", "Len", "Occupied",
+		"OccupiedBefore", "alloc", "release", "repair", "lock", "unlock",
+		"Reset", "Next", "Nodes", "Candidates", "matchesAny", "hasKey",
+	},
+	"stm": { // TestReadOnlyPathAllocFree / TestAbortRetryPathAllocFree / TestCommitPathAllocs / TestPredictPathAllocFree
 		"read", "write", "commit", "reset", "commitFail", "writeSetHas",
 		"readVersionOf", "lookupRead", "lookupWrite", "appendRead",
 		"appendWrite", "sortWrites", "commitBookkeeping",
 		"OnBegin", "OnAbort", "OnCommit", "predict", "suspend", "stallOn",
 		"republish", "validate", "backoff", "jitter", "enemyDTx",
 		"decShard", "decNow",
+		"predictDir", "predictLinear", "onRunning", "setRunning",
 	},
 	"decision": { // TestDecisionHotPathAllocFree / TestDecisionRecordingAllocFreeLive
 		"Add", "SetWait", "Resolve", "SetEnemy", "Shard",

@@ -61,6 +61,7 @@ var pinnedPackages = []string{
 	"internal/tm",
 	"internal/sched",
 	"internal/harness",
+	"internal/bloofi",
 }
 
 // isPinnedImportPath matches a package (or its test variants) against

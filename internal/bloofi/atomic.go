@@ -1,0 +1,307 @@
+package bloofi
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/bloom"
+)
+
+// atomicNode is one node of the concurrent directory. The aggregate
+// filter is double-buffered behind a published index, mirroring the
+// sigSlot idiom in internal/stm: probes read pair[cur] lock-free;
+// remove-with-repair rebuilds the spare under the per-node spinlock and
+// flips it live, so a probe always sees a filter that was complete at
+// some recent instant. Inserts OR their key into *both* buffers without
+// the lock — the bits are monotone, so a concurrent flip cannot unset
+// them — which leaves exactly one benign race: a repair that read a
+// child before a racing insert reached it, and reset the spare after the
+// insert OR'd into it, publishes an aggregate missing that key until the
+// node's next repair. A probe then misses a candidate, the predictor
+// returns "no conflict", and the transaction proceeds optimistically —
+// the same heuristic contract every other signature consumer in
+// internal/stm already has.
+type atomicNode struct {
+	pair  [2]*bloom.AtomicFilter
+	cur   atomic.Uint32 // published pair index
+	mu    atomic.Uint32 // repair spinlock (removers only)
+	count atomic.Int32  // occupied leaves in this subtree
+	key   atomic.Uint64 // leaf occupant's identity key (leaves only)
+}
+
+// lock spins until it owns the node's repair lock. Repairs are short
+// (a few dozen word stores) and contention needs two removers sharing an
+// ancestor at the same instant, so a yielding spin is cheaper than any
+// blocking primitive here.
+//
+//bfgts:allocfree
+func (n *atomicNode) lock() {
+	for !n.mu.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+//bfgts:allocfree
+func (n *atomicNode) unlock() { n.mu.Store(0) }
+
+// AtomicTree is the concurrent directory variant (see the package
+// comment). Unlike Tree it materializes every node up front — occupancy
+// is a per-node atomic counter rather than pooled existence, so inserts
+// and removes never touch a shared free list and probes prune empty
+// subtrees with one atomic load.
+//
+// The concurrency contract matches how the STM drives it: each leaf slot
+// has exactly one mutator (the worker that owns it — Atomic is
+// single-flight per worker slot), while probes may run from any
+// goroutine at any time.
+type AtomicTree struct {
+	branch int
+	levels [][]atomicNode
+	span   []int
+}
+
+// NewAtomicTree builds an empty concurrent directory.
+func NewAtomicTree(cfg Config) *AtomicTree {
+	if cfg.Capacity <= 0 {
+		panic("bloofi: Config.Capacity must be positive")
+	}
+	cfg = cfg.withDefaults()
+	spans, counts := cfg.geometry()
+	t := &AtomicTree{
+		branch: cfg.Branch,
+		levels: make([][]atomicNode, len(counts)),
+		span:   spans,
+	}
+	for l, n := range counts {
+		t.levels[l] = make([]atomicNode, n)
+		for i := range t.levels[l] {
+			t.levels[l][i].pair[0] = bloom.NewAtomicFilter(cfg.Bits, cfg.Hashes)
+			t.levels[l][i].pair[1] = bloom.NewAtomicFilter(cfg.Bits, cfg.Hashes)
+		}
+	}
+	return t
+}
+
+// Capacity returns the number of leaf slots.
+func (t *AtomicTree) Capacity() int { return len(t.levels[0]) }
+
+// Len returns the number of occupied slots (racy-read exact: the root
+// counter is adjusted on every insert and remove).
+//
+//bfgts:allocfree
+func (t *AtomicTree) Len() int {
+	return int(t.levels[len(t.levels)-1][0].count.Load())
+}
+
+// Insert places key at an empty slot owned by the caller: publish the
+// leaf key, then OR the key's bits into both buffers of every node on
+// the root-to-leaf path. The leaf key is stored before any aggregate
+// bit, so a probe that reaches the leaf early at worst compares against
+// the previous occupant's key and skips it.
+//
+//bfgts:allocfree
+func (t *AtomicTree) Insert(slot int, key uint64) {
+	leaf := &t.levels[0][slot]
+	leaf.key.Store(key)
+	for l := len(t.levels) - 1; l >= 0; l-- {
+		n := &t.levels[l][slot/t.span[l]]
+		n.pair[0].Add(key)
+		n.pair[1].Add(key)
+		n.count.Add(1)
+	}
+}
+
+// Clear empties the caller's slot and repairs the path above it: every
+// ancestor's spare buffer is rebuilt as the OR of its children's
+// published buffers and flipped live under the node lock. A fully
+// emptied node is simply reset — remove-with-repair leaves no stale bits
+// behind once the repairs complete.
+//
+//bfgts:allocfree
+func (t *AtomicTree) Clear(slot int) {
+	leaf := &t.levels[0][slot]
+	leaf.count.Add(-1)
+	leaf.lock()
+	leaf.pair[0].Reset()
+	leaf.pair[1].Reset()
+	leaf.unlock()
+	for l := 1; l < len(t.levels); l++ {
+		pos := slot / t.span[l]
+		n := &t.levels[l][pos]
+		n.count.Add(-1)
+		n.lock()
+		t.repair(n, l, pos)
+		n.unlock()
+	}
+}
+
+// repair rebuilds n's spare buffer from its children's published filters
+// and flips it live. Caller holds n's lock.
+//
+//bfgts:allocfree
+func (t *AtomicTree) repair(n *atomicNode, level, pos int) {
+	cur := n.cur.Load()
+	spare := n.pair[1-cur]
+	spare.Reset()
+	children := t.levels[level-1]
+	first := pos * t.branch
+	last := first + t.branch
+	if m := len(children); last > m {
+		last = m
+	}
+	for c := first; c < last; c++ {
+		ch := &children[c]
+		if ch.count.Load() > 0 {
+			spare.OrFrom(ch.pair[ch.cur.Load()])
+		}
+	}
+	n.cur.Store(1 - cur)
+}
+
+// Set is the slot owner's upsert: no-op when the key is unchanged,
+// otherwise clear-then-insert.
+//
+//bfgts:allocfree
+func (t *AtomicTree) Set(slot int, key uint64) {
+	leaf := &t.levels[0][slot]
+	if leaf.count.Load() > 0 {
+		if leaf.key.Load() == key {
+			return
+		}
+		t.Clear(slot)
+	}
+	t.Insert(slot, key)
+}
+
+// Occupied reports whether a slot currently holds a key.
+//
+//bfgts:allocfree
+func (t *AtomicTree) Occupied(slot int) bool {
+	return t.levels[0][slot].count.Load() > 0
+}
+
+// AtomicProbe is a reusable lock-free cursor over one AtomicTree. Each
+// goroutine needs its own cursor; queries against a concurrently mutated
+// tree return a best-effort candidate set (see the package comment), so
+// callers must re-verify candidates against authoritative state.
+type AtomicProbe struct {
+	t     *AtomicTree
+	keys  []uint64
+	stack []probeFrame
+	nodes int
+	cands int
+}
+
+// NewAtomicProbe returns a cursor bound to t.
+func NewAtomicProbe(t *AtomicTree) *AtomicProbe {
+	return &AtomicProbe{t: t, stack: make([]probeFrame, 0, len(t.levels))}
+}
+
+// Reset starts a new query for the given identity keys (ascending).
+//
+//bfgts:allocfree
+func (p *AtomicProbe) Reset(keys []uint64) {
+	p.keys = keys
+	p.stack = p.stack[:0]
+	p.nodes, p.cands = 0, 0
+	if len(keys) == 0 {
+		return
+	}
+	top := len(p.t.levels) - 1
+	root := &p.t.levels[top][0]
+	if root.count.Load() == 0 {
+		return
+	}
+	if top == 0 {
+		p.stack = append(p.stack, probeFrame{level: 1, pos: 0, child: 0})
+		return
+	}
+	p.nodes++
+	if p.matchesAny(root) {
+		p.stack = append(p.stack, probeFrame{level: int32(top), pos: 0, child: 0})
+	}
+}
+
+// Next resumes the descent and returns the next candidate slot in
+// ascending order; ok is false when the probe is exhausted.
+//
+//bfgts:allocfree
+func (p *AtomicProbe) Next() (slot int, ok bool) {
+	t := p.t
+	for len(p.stack) > 0 {
+		f := &p.stack[len(p.stack)-1]
+		childLevel := int(f.level) - 1
+		first := int(f.pos) * t.branch
+		width := len(t.levels[childLevel])
+		pushed := false
+		for int(f.child) < t.branch {
+			c := first + int(f.child)
+			f.child++
+			if c >= width {
+				f.child = int32(t.branch)
+				break
+			}
+			n := &t.levels[childLevel][c]
+			if n.count.Load() == 0 {
+				continue
+			}
+			p.nodes++
+			if childLevel == 0 {
+				if p.hasKey(n.key.Load()) {
+					p.cands++
+					return c, true
+				}
+				continue
+			}
+			if p.matchesAny(n) {
+				p.stack = append(p.stack, probeFrame{level: int32(childLevel), pos: int32(c), child: 0})
+				pushed = true
+				break
+			}
+		}
+		// Never pop the frame a push just placed on top (see Probe.Next).
+		if !pushed {
+			p.stack = p.stack[:len(p.stack)-1]
+		}
+	}
+	return 0, false
+}
+
+// Nodes returns how many tree nodes the query has visited so far.
+//
+//bfgts:allocfree
+func (p *AtomicProbe) Nodes() int { return p.nodes }
+
+// Candidates returns how many candidate slots the query has returned.
+//
+//bfgts:allocfree
+func (p *AtomicProbe) Candidates() int { return p.cands }
+
+// matchesAny tests the suspect keys against the node's published buffer.
+//
+//bfgts:allocfree
+func (p *AtomicProbe) matchesAny(n *atomicNode) bool {
+	f := n.pair[n.cur.Load()]
+	for _, k := range p.keys {
+		if f.Test(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasKey binary-searches the (ascending) suspect keys for an exact match.
+//
+//bfgts:allocfree
+func (p *AtomicProbe) hasKey(key uint64) bool {
+	lo, hi := 0, len(p.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(p.keys) && p.keys[lo] == key
+}

@@ -1,0 +1,256 @@
+package bloofi
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bloom"
+)
+
+// drainAtomic runs an AtomicProbe to exhaustion.
+func drainAtomic(p *AtomicProbe, keys []uint64) []int {
+	p.Reset(keys)
+	var out []int
+	for {
+		slot, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, slot)
+	}
+}
+
+func atomicFiltersEqual(a, b *bloom.AtomicFilter) bool {
+	return a.PopCount() == b.PopCount() && a.UnionPopCount(b) == a.PopCount()
+}
+
+// checkAtomicTreeQuiescent verifies the structural contract of an
+// AtomicTree with no concurrent mutators: every node's count equals its
+// subtree occupancy and its *published* aggregate is exactly the OR of
+// the occupant keys — repairs left no stale bits behind.
+func checkAtomicTreeQuiescent(t *testing.T, tr *AtomicTree, occ oracle) {
+	t.Helper()
+	bits := tr.levels[0][0].pair[0].Bits()
+	hashes := tr.levels[0][0].pair[0].Hashes()
+	want := bloom.NewAtomicFilter(bits, hashes)
+	for l := range tr.levels {
+		for pos := range tr.levels[l] {
+			n := &tr.levels[l][pos]
+			lo, hi := pos*tr.span[l], (pos+1)*tr.span[l]
+			cnt := 0
+			want.Reset()
+			for slot, key := range occ {
+				if slot >= lo && slot < hi {
+					cnt++
+					want.Add(key)
+				}
+			}
+			if int(n.count.Load()) != cnt {
+				t.Fatalf("level %d pos %d: count %d, want %d", l, pos, n.count.Load(), cnt)
+			}
+			if cnt == 0 {
+				continue // empty nodes are pruned by count, bits may be stale only if unreachable
+			}
+			pub := n.pair[n.cur.Load()]
+			if !atomicFiltersEqual(pub, want) {
+				t.Fatalf("level %d pos %d: published aggregate has stale or missing bits (pop %d, want %d)",
+					l, pos, pub.PopCount(), want.PopCount())
+			}
+		}
+	}
+}
+
+// TestAtomicTreeMatchesTree drives identical sequential churn through the
+// deterministic Tree and the concurrent AtomicTree: with a single
+// goroutine the two variants must agree on every probe, occupancy bit and
+// length.
+func TestAtomicTreeMatchesTree(t *testing.T) {
+	for _, cfg := range []Config{{Capacity: 1}, {Capacity: 9}, {Capacity: 64}, {Capacity: 50, Branch: 4}} {
+		rng := rand.New(rand.NewSource(int64(cfg.Capacity)))
+		det, conc := New(cfg), NewAtomicTree(cfg)
+		dp, cp := NewProbe(det), NewAtomicProbe(conc)
+		occ := oracle{}
+		const keySpace = 12
+		for op := 0; op < 500; op++ {
+			slot := rng.Intn(cfg.Capacity)
+			if det.Occupied(slot) && rng.Intn(2) == 0 {
+				det.Remove(slot)
+				conc.Clear(slot)
+				delete(occ, slot)
+			} else {
+				key := uint64(rng.Intn(keySpace))
+				det.Set(slot, key)
+				conc.Set(slot, key)
+				occ[slot] = key
+			}
+			if det.Len() != conc.Len() {
+				t.Fatalf("cap %d op %d: Tree.Len=%d, AtomicTree.Len=%d", cfg.Capacity, op, det.Len(), conc.Len())
+			}
+			if det.Occupied(slot) != conc.Occupied(slot) {
+				t.Fatalf("cap %d op %d: Occupied(%d) disagrees", cfg.Capacity, op, slot)
+			}
+			keys := suspectSet(rng, keySpace)
+			got, want := drainAtomic(cp, keys), drain(dp, keys)
+			if !slotsEqual(got, want) {
+				t.Fatalf("cap %d op %d: AtomicProbe(%v) = %v, Tree probe %v", cfg.Capacity, op, keys, got, want)
+			}
+		}
+		checkAtomicTreeQuiescent(t, conc, occ)
+	}
+}
+
+// TestAtomicTreeRepairNoStaleBits churns Set/Clear sequentially and
+// checks after every operation that the published aggregates carry no
+// bits of removed keys — the concurrent remove-with-repair analog of
+// TestTreeRemoveRepairsAggregates.
+func TestAtomicTreeRepairNoStaleBits(t *testing.T) {
+	cfg := Config{Capacity: 27, Branch: 3, Bits: 128}
+	rng := rand.New(rand.NewSource(5))
+	tr := NewAtomicTree(cfg)
+	occ := oracle{}
+	for op := 0; op < 300; op++ {
+		slot := rng.Intn(cfg.Capacity)
+		if tr.Occupied(slot) && rng.Intn(3) > 0 {
+			tr.Clear(slot)
+			delete(occ, slot)
+		} else {
+			key := uint64(rng.Intn(6))
+			tr.Set(slot, key)
+			occ[slot] = key
+		}
+		checkAtomicTreeQuiescent(t, tr, occ)
+	}
+}
+
+// TestAtomicTreeConcurrentStress is the -race exercise of the live-STM
+// contract: one mutator goroutine per slot range doing Set/Clear churn
+// while prober goroutines query concurrently. During the storm probes
+// must stay well-formed (ascending in-range slots, terminating); after
+// the mutators quiesce, the tree must be exactly consistent with the
+// final occupancy and probes must match the oracle again.
+func TestAtomicTreeConcurrentStress(t *testing.T) {
+	const (
+		capacity  = 64
+		mutators  = 8
+		probers   = 4
+		opsEach   = 2000
+		keySpace  = 10
+		slotsEach = capacity / mutators
+	)
+	tr := NewAtomicTree(Config{Capacity: capacity})
+	const noKey = ^uint64(0)
+	final := make([]uint64, capacity) // final key per slot, owner-written
+	for i := range final {
+		final[i] = noKey
+	}
+	var mutWg, probeWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for m := 0; m < mutators; m++ {
+		mutWg.Add(1)
+		go func(m int) {
+			defer mutWg.Done()
+			rng := rand.New(rand.NewSource(int64(m) + 1))
+			base := m * slotsEach
+			occupied := make([]bool, slotsEach)
+			for i := 0; i < opsEach; i++ {
+				s := rng.Intn(slotsEach)
+				slot := base + s
+				if occupied[s] && rng.Intn(3) == 0 {
+					tr.Clear(slot)
+					occupied[s] = false
+					final[slot] = noKey
+				} else {
+					key := uint64(rng.Intn(keySpace))
+					tr.Set(slot, key)
+					occupied[s] = true
+					final[slot] = key
+				}
+			}
+		}(m)
+	}
+	for p := 0; p < probers; p++ {
+		probeWg.Add(1)
+		go func(p int) {
+			defer probeWg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + p)))
+			probe := NewAtomicProbe(tr)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys := suspectSet(rng, keySpace)
+				prev := -1
+				probe.Reset(keys)
+				for {
+					slot, ok := probe.Next()
+					if !ok {
+						break
+					}
+					if slot < 0 || slot >= capacity {
+						t.Errorf("probe returned out-of-range slot %d", slot)
+						return
+					}
+					if slot <= prev {
+						t.Errorf("probe slots not ascending: %d after %d", slot, prev)
+						return
+					}
+					prev = slot
+				}
+			}
+		}(p)
+	}
+
+	mutWg.Wait()
+	close(stop)
+	probeWg.Wait()
+
+	occ := oracle{}
+	for slot, key := range final {
+		if key != noKey {
+			occ[slot] = key
+		}
+		if (key != noKey) != tr.Occupied(slot) {
+			t.Fatalf("slot %d occupancy %v disagrees with owner's last write", slot, tr.Occupied(slot))
+		}
+	}
+	checkAtomicTreeQuiescent(t, tr, occ)
+	probe := NewAtomicProbe(tr)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		keys := suspectSet(rng, keySpace)
+		if got, want := drainAtomic(probe, keys), occ.probe(keys); !slotsEqual(got, want) {
+			t.Fatalf("post-quiescence probe(%v) = %v, oracle %v", keys, got, want)
+		}
+	}
+}
+
+// TestAtomicTreeAllocFree gates the live-STM hot path: a warmed-up
+// Set/probe/Clear cycle performs zero heap allocations.
+func TestAtomicTreeAllocFree(t *testing.T) {
+	tr := NewAtomicTree(Config{Capacity: 64})
+	probe := NewAtomicProbe(tr)
+	keys := []uint64{1, 3, 5, 7}
+	cycle := func() {
+		for slot := 0; slot < 64; slot++ {
+			tr.Set(slot, uint64(slot%8))
+		}
+		probe.Reset(keys)
+		for {
+			if _, ok := probe.Next(); !ok {
+				break
+			}
+		}
+		_ = probe.Nodes() + probe.Candidates() + tr.Len()
+		for slot := 0; slot < 64; slot++ {
+			tr.Clear(slot)
+		}
+	}
+	cycle()
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Fatalf("Set/probe/Clear cycle allocates %.1f times per run, want 0", n)
+	}
+}

@@ -120,6 +120,25 @@ func (f *AtomicFilter) Reset() {
 //bfgts:allocfree
 func (f *AtomicFilter) PopCount() int { return int(f.pop.Load()) }
 
+// OrFrom ORs src's current bits into this filter word by word and
+// refreshes the population count — the Bloofi repair primitive for
+// directory nodes rebuilt under their owner's per-node lock. Concurrent
+// probes may observe the partially accumulated state (see the type
+// comment); src may be concurrently mutated, in which case a torn
+// snapshot of it is folded in, which the same argument makes benign.
+//
+//bfgts:allocfree
+func (f *AtomicFilter) OrFrom(src *AtomicFilter) {
+	f.mustMatch(src)
+	pop := 0
+	for i := range f.words {
+		w := f.words[i].Load() | src.words[i].Load()
+		f.words[i].Store(w)
+		pop += bits.OnesCount64(w)
+	}
+	f.pop.Store(int64(pop))
+}
+
 // UnionPopCount streams the popcount of the bitwise OR of the two filters
 // without materializing it.
 //

@@ -127,6 +127,22 @@ func (f *Filter) Union(other *Filter) *Filter {
 	return u
 }
 
+// UnionWith ORs other's bits into this filter in place, recomputing the
+// population count in the same pass — the Bloofi node-repair primitive,
+// allocation-free by construction. Filters must have identical geometry.
+//
+//bfgts:allocfree
+func (f *Filter) UnionWith(other *Filter) {
+	f.mustMatch(other)
+	pop := 0
+	for i, w := range other.words {
+		uw := f.words[i] | w
+		f.words[i] = uw
+		pop += bits.OnesCount64(uw)
+	}
+	f.pop = pop
+}
+
 // UnionPopCount returns the number of set bits in the bitwise union of the
 // two filters without materializing it — one OnesCount64 per word.
 func (f *Filter) UnionPopCount(other *Filter) int {

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/bloom"
+import (
+	"repro/internal/bloofi"
+	"repro/internal/bloom"
+)
 
 // This file implements the BFGTS scheduling subroutines of Section 4.2.2,
 // mirroring the paper's pseudo-code:
@@ -33,6 +36,48 @@ func (r *Runtime) PredictSW(stx int, cpuTable []int, selfCPU int) Prediction {
 	p := Prediction{WaitDTx: NoTx}
 	for cpu, dtx := range cpuTable {
 		if cpu == selfCPU || dtx == NoTx {
+			continue
+		}
+		_, otherStx := r.cfg.SplitDTx(dtx)
+		if r.Conf(stx, otherStx) > r.cfg.ConfThreshold {
+			p.Conflict = true
+			p.WaitDTx = dtx
+			break
+		}
+	}
+	p.Cycles = r.cost.flat(r.cost.Call + int64(len(cpuTable))*r.cost.ScanEntry)
+	return p
+}
+
+// PredictDir is Example 1 answered through a Bloofi directory over the CPU
+// table instead of a linear walk. The probe's tree must hold, for every
+// occupied CPU slot, the folded static ID (FoldStx) of the transaction
+// running there. The suspect set is computed exactly from the confidence
+// table, the directory surfaces the occupied slots holding a suspect key
+// in ascending slot order, and each candidate is re-checked against the
+// authoritative confidence cell — so the outcome (and the first match
+// chosen) is identical to PredictSW's scan, while the host-side work is
+// O(log n) in sparse-conflict regimes.
+//
+// The modeled cycle cost is deliberately the same flat formula as
+// PredictSW: the paper's software scan walks the whole CPU table, and the
+// directory is a host-side indexing strategy, not a change to the modeled
+// machine.
+//
+//bfgts:allocfree
+func (r *Runtime) PredictDir(stx int, cpuTable []int, selfCPU int, probe *bloofi.Probe) Prediction {
+	p := Prediction{WaitDTx: NoTx}
+	probe.Reset(r.SuspectStatics(stx))
+	for {
+		cpu, ok := probe.Next()
+		if !ok {
+			break
+		}
+		if cpu == selfCPU {
+			continue
+		}
+		dtx := cpuTable[cpu]
+		if dtx == NoTx {
 			continue
 		}
 		_, otherStx := r.cfg.SplitDTx(dtx)

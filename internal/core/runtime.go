@@ -111,6 +111,10 @@ type Runtime struct {
 	// sigFree recycles signatures displaced from sigs/wsigs by a newer
 	// commit, so steady-state commit bookkeeping allocates nothing.
 	sigFree []bloom.Signature
+
+	// suspectBuf is the reusable backing store of SuspectStatics, sized
+	// to the confidence table's axis so suspect collection never grows it.
+	suspectBuf []uint64
 }
 
 // NewRuntime allocates a runtime for the given configuration and cost
@@ -125,12 +129,13 @@ func NewRuntime(cfg Config, cost CostModel) *Runtime {
 	m := cfg.confDim()
 	n := cfg.NumThreads * cfg.statDim()
 	r := &Runtime{
-		cfg:   cfg,
-		cost:  cost,
-		conf:  make([]float64, m*m),
-		stats: make([]txStats, n),
-		sigs:  make([]bloom.Signature, n),
-		wsigs: make([]bloom.Signature, n),
+		cfg:        cfg,
+		cost:       cost,
+		conf:       make([]float64, m*m),
+		stats:      make([]txStats, n),
+		sigs:       make([]bloom.Signature, n),
+		wsigs:      make([]bloom.Signature, n),
+		suspectBuf: make([]uint64, 0, m),
 	}
 	for i := range r.stats {
 		r.stats[i].waitingOn = NoTx
@@ -188,6 +193,17 @@ func (c Config) confIdx(stx int) int {
 	return stx
 }
 
+// FoldStx exposes the confidence-table folding of a static ID — the
+// identity key the Bloofi directory indexes a running transaction under,
+// so that leaf-level key equality coincides exactly with confidence-cell
+// equality.
+func (c Config) FoldStx(stx int) int { return c.confIdx(stx) }
+
+// ConfDim exposes the per-axis confidence-table size: the number of
+// distinct folded static IDs, and therefore an upper bound on the size of
+// any begin-time suspect set.
+func (c Config) ConfDim() int { return c.confDim() }
+
 // DTx builds a dynamic transaction ID from a thread and static ID. This is
 // the paper's concatenation of thread ID and sTxID.
 func (c Config) DTx(thread, stx int) int { return thread*c.NumStatic + stx }
@@ -208,6 +224,25 @@ func (r *Runtime) dtxSlot(dtx int) int {
 func (r *Runtime) Conf(a, b int) float64 {
 	d := r.cfg.confDim()
 	return r.conf[r.cfg.confIdx(a)*d+r.cfg.confIdx(b)]
+}
+
+// SuspectStatics returns the folded static IDs whose learned confidence
+// against stx clears the threshold, in ascending order — the exact set a
+// begin-time linear scan tests every running transaction's static ID
+// against. The returned slice aliases an internal buffer valid until the
+// next call.
+//
+//bfgts:allocfree
+func (r *Runtime) SuspectStatics(stx int) []uint64 {
+	d := r.cfg.confDim()
+	base := r.cfg.confIdx(stx) * d
+	r.suspectBuf = r.suspectBuf[:0]
+	for k := 0; k < d; k++ {
+		if r.conf[base+k] > r.cfg.ConfThreshold {
+			r.suspectBuf = append(r.suspectBuf, uint64(k))
+		}
+	}
+	return r.suspectBuf
 }
 
 func (r *Runtime) addConf(a, b int, delta float64) {

@@ -39,6 +39,11 @@ type Config struct {
 	// cycle-identical either way; the switch exists for differential
 	// testing and bisection.
 	NoBatch bool
+	// NoBloofi runs every simulation with the Bloofi signature directory
+	// disabled, using the literal linear begin-time scans. Output is
+	// byte-identical either way; the switch exists for differential
+	// testing and bisection.
+	NoBloofi bool
 	// Progress, if non-nil, receives one line per simulation as it
 	// finishes (cache hits are silent). It may be called from multiple
 	// goroutines concurrently.
@@ -94,14 +99,15 @@ var BloomSizes = []int{512, 1024, 2048, 4096, 8192}
 
 // runKey identifies a simulation for the in-process cache.
 type runKey struct {
-	bench   string
-	manager string
-	cores   int
-	tpc     int
-	seed    uint64
-	scale   float64
-	profile bool
-	noBatch bool
+	bench    string
+	manager  string
+	cores    int
+	tpc      int
+	seed     uint64
+	scale    float64
+	profile  bool
+	noBatch  bool
+	noBloofi bool
 }
 
 // cacheEntry is one memoized simulation. The first caller of a runKey
@@ -187,6 +193,7 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 			Trace:             rec,
 			Metrics:           reg,
 			NoBatch:           r.cfg.NoBatch,
+			NoBloofi:          r.cfg.NoBloofi,
 		}).Run()
 	})
 	res.ManagerName = m.Name
@@ -200,7 +207,7 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 // cycle); the returned set is read-only and shared — callers must not
 // Reset its shards.
 func (r *Runner) RunDecisions(f workload.Factory, m ManagerSpec) (*sim.Result, *decision.Set) {
-	key := runKey{f.Name(), m.Name, r.cfg.Cores, r.cfg.ThreadsPerCore, r.cfg.Seed, r.cfg.Scale, false, r.cfg.NoBatch}
+	key := runKey{f.Name(), m.Name, r.cfg.Cores, r.cfg.ThreadsPerCore, r.cfg.Seed, r.cfg.Scale, false, r.cfg.NoBatch, r.cfg.NoBloofi}
 	r.mu.Lock()
 	if e, ok := r.decCache[key]; ok {
 		r.mu.Unlock()
@@ -223,6 +230,7 @@ func (r *Runner) RunDecisions(f workload.Factory, m ManagerSpec) (*sim.Result, *
 			MaxCycles:      100_000_000_000,
 			Decisions:      set,
 			NoBatch:        r.cfg.NoBatch,
+			NoBloofi:       r.cfg.NoBloofi,
 		}).Run()
 		res.ManagerName = m.Name
 		e.res, e.set = res, set
@@ -247,6 +255,7 @@ func (r *Runner) ReplayFlips(f workload.Factory, m ManagerSpec, maxFlips int) *s
 			NewManager:     m.New,
 			MaxCycles:      100_000_000_000,
 			NoBatch:        r.cfg.NoBatch,
+			NoBloofi:       r.cfg.NoBloofi,
 		}, maxFlips)
 	})
 	out.Base.ManagerName = m.Name
@@ -260,7 +269,7 @@ func (r *Runner) Baseline(f workload.Factory) *sim.Result {
 }
 
 func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profile bool) *sim.Result {
-	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile, r.cfg.NoBatch}
+	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile, r.cfg.NoBatch, r.cfg.NoBloofi}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -282,6 +291,7 @@ func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profil
 			ProfileSimilarity: profile,
 			MaxCycles:         100_000_000_000,
 			NoBatch:           r.cfg.NoBatch,
+			NoBloofi:          r.cfg.NoBloofi,
 		}).Run()
 		res.ManagerName = m.Name // keep the spec name (includes Bloom size)
 		e.res = res

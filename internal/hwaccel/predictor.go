@@ -115,8 +115,10 @@ func (p *Predictor) SetThreshold(t float64) { p.threshold = t }
 // dedicated confidence cache — and compare against the threshold. It
 // returns the prediction and its latency in cycles.
 //
-// The walk inspects every remote entry even after a hit is found is not
-// modeled: like the pseudo-code, it stops at the first predicted conflict.
+// The walk short-circuits: like the pseudo-code, it stops at the first
+// predicted conflict, so a hit early in the CPU table costs fewer cache
+// accesses than a clean scan. An exhaustive walk that inspects every
+// remote entry regardless of hits is not modeled.
 func (p *Predictor) Predict(stx int) core.Prediction {
 	pr := core.Prediction{WaitDTx: core.NoTx, Cycles: p.walkCycles}
 	cfg := p.rt.Config()

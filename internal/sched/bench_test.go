@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkBFGTSPredict measures the host cost of one begin-time
+// prediction at simulated-machine scale, Bloofi directory against the
+// linear CPU-table walk it replaces. The machine runs a low-overlap
+// occupancy (every CPU busy, a handful of suspect statics), so the
+// directory prunes most subtrees while the linear scan still touches
+// every entry; modeled cycles are identical by construction, this is
+// purely the simulator's own speed.
+func BenchmarkBFGTSPredict(b *testing.B) {
+	for _, cores := range []int{64, 256, 1024} {
+		for _, linear := range []bool{false, true} {
+			mode := "bloofi"
+			if linear {
+				mode = "linear"
+			}
+			b.Run(fmt.Sprintf("cores%d/%s", cores, mode), func(b *testing.B) {
+				const nStatic = 8
+				env, _ := testEnv(cores, cores, nStatic)
+				env.LinearScan = linear
+				m := NewBFGTS(env, BFGTSSW, core.DefaultConfig(cores, nStatic))
+				// Learn confidence between static 0 and 1 so predictions
+				// carry a real (small) suspect set.
+				for i := 0; i < 40; i++ {
+					m.OnAbort(0, 0, 1, 1, 1)
+				}
+				// Occupy every CPU; only every 16th runs a suspect static.
+				cfg := m.Runtime().Config()
+				for cpu := 1; cpu < cores; cpu++ {
+					stx := 2 + cpu%(nStatic-2) // never 0/1: not suspect
+					if cpu%16 == 0 {
+						stx = 1
+					}
+					m.OnCPUSlot(cpu, cfg.DTx(cpu, stx))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.predict(0, 0)
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"repro/internal/bloofi"
 	"repro/internal/core"
 	"repro/internal/hwaccel"
 	"repro/internal/metrics"
@@ -52,6 +53,15 @@ type BFGTS struct {
 	bank     *hwaccel.Bank // HW modes only
 	cpuTable []int         // SW modes only
 
+	// dir/probe are the Bloofi directory over the CPU table (SW modes,
+	// unless Env.LinearScan): each occupied slot is indexed under the
+	// folded static ID of the transaction running there, so the begin
+	// scan descends only subtrees holding a suspect instead of walking
+	// every entry. Results are byte-identical to the linear walk (see
+	// core.PredictDir).
+	dir   *bloofi.Tree
+	probe *bloofi.Probe
+
 	pressure *pressureMeter // hybrid mode only
 	// PressureThreshold gates the hybrid: below it, behave like Backoff
 	// (paper value 0.25 with heavy history bias).
@@ -65,6 +75,11 @@ type BFGTS struct {
 	metLightCommit *metrics.Counter // hybrid: commits on the light path
 	metAborts      *metrics.Counter
 	gate           *crossingTracker // hybrid pressure-gate crossings
+
+	// Directory-probe instruments (dir modes only).
+	metProbeNodes *metrics.Histogram // tree nodes visited per begin probe
+	metProbeCands *metrics.Histogram // candidate slots surfaced per probe
+	metProbeRun   *metrics.Histogram // running-set size at probe time
 }
 
 // NewBFGTS builds a manager variant. cfg seeds the core runtime; its
@@ -92,6 +107,10 @@ func NewBFGTS(env Env, mode BFGTSMode, cfg core.Config) *BFGTS {
 		for i := range b.cpuTable {
 			b.cpuTable[i] = core.NoTx
 		}
+		if !env.LinearScan {
+			b.dir = bloofi.New(bloofi.Config{Capacity: env.NumCPUs})
+			b.probe = bloofi.NewProbe(b.dir)
+		}
 	}
 	if mode == BFGTSHWBackoff {
 		// "Heavily biases past history, therefore the frequency of
@@ -107,6 +126,11 @@ func NewBFGTS(env Env, mode BFGTSMode, cfg core.Config) *BFGTS {
 	b.metSerSpin = reg.Counter("sched.serialize.spin")
 	b.metSerYield = reg.Counter("sched.serialize.yield")
 	b.metAborts = reg.Counter("sched.aborts")
+	if b.dir != nil {
+		b.metProbeNodes = reg.Histogram("sched.bfgts.probe.nodes")
+		b.metProbeCands = reg.Histogram("sched.bfgts.probe.candidates")
+		b.metProbeRun = reg.Histogram("sched.bfgts.probe.running")
+	}
 	if b.pressure != nil && reg != nil {
 		b.metLightBegin = reg.Counter("sched.hybrid.light_begins")
 		b.metLightCommit = reg.Counter("sched.hybrid.light_commits")
@@ -131,6 +155,13 @@ func (b *BFGTS) predict(tid, stx int) core.Prediction {
 	cpu := b.env.CPUOf(tid)
 	if b.bank != nil {
 		return b.bank.Unit(cpu).Predict(stx)
+	}
+	if b.dir != nil {
+		pred := b.rt.PredictDir(stx, b.cpuTable, cpu, b.probe)
+		b.metProbeNodes.Observe(int64(b.probe.Nodes()))
+		b.metProbeCands.Observe(int64(b.probe.Candidates()))
+		b.metProbeRun.Observe(int64(b.dir.Len()))
+		return pred
 	}
 	return b.rt.PredictSW(stx, b.cpuTable, cpu)
 }
@@ -170,7 +201,8 @@ func (b *BFGTS) OnBegin(tid, stx int) BeginResult {
 
 // OnCPUSlot implements Manager: in hardware modes this is the snoop
 // broadcast; in software modes the runtime's shared CPU table is updated
-// directly.
+// directly, and the Bloofi directory (when enabled) mirrors it — occupied
+// slots are indexed under the folded static ID of their transaction.
 func (b *BFGTS) OnCPUSlot(cpu, dtx int) {
 	if b.bank != nil {
 		if dtx == core.NoTx {
@@ -181,6 +213,17 @@ func (b *BFGTS) OnCPUSlot(cpu, dtx int) {
 		return
 	}
 	b.cpuTable[cpu] = dtx
+	if b.dir == nil {
+		return
+	}
+	if dtx == core.NoTx {
+		if b.dir.Occupied(cpu) {
+			b.dir.Remove(cpu)
+		}
+		return
+	}
+	_, stx := b.rt.Config().SplitDTx(dtx)
+	b.dir.Set(cpu, uint64(b.rt.Config().FoldStx(stx)))
 }
 
 // OnAbort implements Manager: txConflict (Example 3) plus a short

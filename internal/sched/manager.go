@@ -114,6 +114,13 @@ type Env struct {
 	// Metrics, when non-nil, receives the manager's decision-point
 	// instrumentation. Managers must tolerate nil (the disabled default).
 	Metrics *metrics.Registry
+	// LinearScan disables the Bloofi signature directory, forcing the
+	// managers that keep a software CPU table (PTS, BFGTS-SW and
+	// BFGTS-NoOverhead) back to the literal linear begin-time walk. The
+	// directory is a host-side indexing strategy with byte-identical
+	// results, so this exists for the differential tests and as an
+	// escape hatch, not as a modeled-machine knob.
+	LinearScan bool
 }
 
 // ConfidenceReporter is an optional Manager extension exposing the mean

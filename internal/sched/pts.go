@@ -1,6 +1,9 @@
 package sched
 
 import (
+	"sort"
+
+	"repro/internal/bloofi"
 	"repro/internal/bloom"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -35,8 +38,20 @@ type PTS struct {
 	sigFree []*bloom.Filter
 	// waitingOn records the dTxID each dTxID last serialized behind.
 	waitingOn map[int]int
+	// suspects caches, per dTxID, the ascending dTxIDs whose edge from it
+	// currently clears Threshold — maintained at every addConf threshold
+	// crossing, so the directory probe's suspect set is exactly the set
+	// the linear scan would have matched. Threshold is fixed after
+	// construction, which is what keeps the cache coherent.
+	suspects map[int][]uint64
 
 	cpuTable []int
+	// dir/probe index occupied CPU slots under the dynamic transaction ID
+	// running there (nil under Env.LinearScan). Unlike BFGTS there is no
+	// static-ID folding: PTS's conflict graph is keyed by dTxID pairs, so
+	// the dTxID itself is the identity key.
+	dir   *bloofi.Tree
+	probe *bloofi.Probe
 
 	// scanEntryCost is the per-CPU-table-entry cost of the begin scan.
 	// PTS's per-dTxID tables are far too large for any cache to hold, so
@@ -48,10 +63,13 @@ type PTS struct {
 	bloomBits int
 
 	// Decision-point instruments (nil = disabled, free).
-	metScanLen *metrics.Histogram // CPU-table entries probed per begin scan
-	metSerial  *metrics.Counter   // begins that serialized behind a prediction
-	metEdges   *metrics.Gauge     // materialized conflict-graph edges
-	metAborts  *metrics.Counter
+	metScanLen    *metrics.Histogram // CPU-table entries probed per begin scan
+	metSerial     *metrics.Counter   // begins that serialized behind a prediction
+	metEdges      *metrics.Gauge     // materialized conflict-graph edges
+	metAborts     *metrics.Counter
+	metProbeNodes *metrics.Histogram // tree nodes visited per begin probe
+	metProbeCands *metrics.Histogram // candidate slots surfaced per probe
+	metProbeRun   *metrics.Histogram // running-set size at probe time
 }
 
 // NewPTS returns the manager with the standard configuration from the PTS
@@ -65,6 +83,7 @@ func NewPTS(env Env) *PTS {
 		conf:          make(map[[2]int]float64),
 		sigs:          make(map[int]*bloom.Filter),
 		waitingOn:     make(map[int]int),
+		suspects:      make(map[int][]uint64),
 		cpuTable:      make([]int, env.NumCPUs),
 		scanEntryCost: 45,
 		bloomBits:     2048,
@@ -72,11 +91,20 @@ func NewPTS(env Env) *PTS {
 	for i := range p.cpuTable {
 		p.cpuTable[i] = core.NoTx
 	}
+	if !env.LinearScan {
+		p.dir = bloofi.New(bloofi.Config{Capacity: env.NumCPUs})
+		p.probe = bloofi.NewProbe(p.dir)
+	}
 	if reg := env.Metrics; reg != nil {
 		p.metScanLen = reg.Histogram("sched.pts.scan_len")
 		p.metSerial = reg.Counter("sched.pts.serializations")
 		p.metEdges = reg.Gauge("sched.pts.graph_edges")
 		p.metAborts = reg.Counter("sched.aborts")
+		if p.dir != nil {
+			p.metProbeNodes = reg.Histogram("sched.pts.probe.nodes")
+			p.metProbeCands = reg.Histogram("sched.pts.probe.candidates")
+			p.metProbeRun = reg.Histogram("sched.pts.probe.running")
+		}
 	}
 	return p
 }
@@ -96,7 +124,8 @@ func (p *PTS) GraphEdges() int { return len(p.conf) }
 
 func (p *PTS) addConf(d1, d2 int, delta float64) {
 	k := [2]int{d1, d2}
-	v := p.conf[k] + delta
+	old := p.conf[k]
+	v := old + delta
 	if v < 0 {
 		v = 0
 	} else if v > 1 {
@@ -104,18 +133,52 @@ func (p *PTS) addConf(d1, d2 int, delta float64) {
 	}
 	if v == 0 {
 		delete(p.conf, k)
+	} else {
+		p.conf[k] = v
+	}
+	p.updateSuspects(d1, d2, old > p.Threshold, v > p.Threshold)
+}
+
+// updateSuspects keeps suspects[d1] in sync with the conflict graph when
+// the (d1, d2) edge crosses Threshold in either direction. The list stays
+// sorted (the directory probe binary-searches it), and edges that merely
+// move within one side of the threshold cost nothing.
+func (p *PTS) updateSuspects(d1, d2 int, was, now bool) {
+	if was == now {
 		return
 	}
-	p.conf[k] = v
+	s := p.suspects[d1]
+	key := uint64(d2)
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= key })
+	if now {
+		s = append(s, 0)
+		copy(s[i+1:], s[i:])
+		s[i] = key
+		p.suspects[d1] = s
+		return
+	}
+	copy(s[i:], s[i+1:])
+	s = s[:len(s)-1]
+	if len(s) == 0 {
+		delete(p.suspects, d1)
+		return
+	}
+	p.suspects[d1] = s
 }
 
 // OnBegin implements Manager: scan the CPU table in software against the
-// per-dTxID conflict graph.
+// per-dTxID conflict graph — through the Bloofi directory when enabled,
+// byte-identically to the linear walk (including the scan-length metric,
+// reconstructed from the directory's subtree counters).
 func (p *PTS) OnBegin(tid, stx int) BeginResult {
 	self := p.dtx(tid, stx)
 	selfCPU := p.env.CPUOf(tid)
 	res := BeginResult{Action: Proceed, WaitDTx: core.NoTx}
 	res.Overhead = 120 + int64(p.env.NumCPUs)*p.scanEntryCost
+	if p.dir != nil {
+		p.beginProbe(self, selfCPU, &res)
+		return res
+	}
 	scanned := 0
 	for cpu, dtx := range p.cpuTable {
 		if cpu == selfCPU || dtx == core.NoTx {
@@ -135,8 +198,71 @@ func (p *PTS) OnBegin(tid, stx int) BeginResult {
 	return res
 }
 
+// beginProbe is the directory-backed begin scan. The suspect list for
+// self holds exactly the dTxIDs whose edge clears Threshold, so the first
+// candidate the probe surfaces (in ascending slot order, skipping the
+// beginning thread's own CPU) is the same hit the linear walk would have
+// taken. The linear walk's scanned-entry count is recovered from the
+// subtree occupancy counters: every occupied non-self slot before the hit
+// was "scanned", plus the hit itself; with no hit, every occupied
+// non-self slot was.
+func (p *PTS) beginProbe(self, selfCPU int, res *BeginResult) {
+	selfOcc := p.dir.Occupied(selfCPU)
+	p.probe.Reset(p.suspects[self])
+	var scanned int64
+	hit := false
+	for {
+		cpu, ok := p.probe.Next()
+		if !ok {
+			break
+		}
+		if cpu == selfCPU {
+			continue
+		}
+		dtx := p.cpuTable[cpu]
+		if dtx == core.NoTx {
+			continue
+		}
+		if c := p.conf[[2]int{self, dtx}]; c > p.Threshold {
+			p.waitingOn[self] = dtx
+			res.Action = YieldRetry
+			res.WaitDTx = dtx
+			res.Confidence = c
+			p.metSerial.Inc()
+			scanned = int64(p.dir.OccupiedBefore(cpu)) + 1
+			if selfOcc && selfCPU < cpu {
+				scanned--
+			}
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		scanned = int64(p.dir.Len())
+		if selfOcc {
+			scanned--
+		}
+	}
+	p.metScanLen.Observe(scanned)
+	p.metProbeNodes.Observe(int64(p.probe.Nodes()))
+	p.metProbeCands.Observe(int64(p.probe.Candidates()))
+	p.metProbeRun.Observe(int64(p.dir.Len()))
+}
+
 // OnCPUSlot implements Manager.
-func (p *PTS) OnCPUSlot(cpu, dtx int) { p.cpuTable[cpu] = dtx }
+func (p *PTS) OnCPUSlot(cpu, dtx int) {
+	p.cpuTable[cpu] = dtx
+	if p.dir == nil {
+		return
+	}
+	if dtx == core.NoTx {
+		if p.dir.Occupied(cpu) {
+			p.dir.Remove(cpu)
+		}
+		return
+	}
+	p.dir.Set(cpu, uint64(dtx))
+}
 
 // OnAbort implements Manager: strengthen the edge between the two dynamic
 // transactions by the fixed increment.

@@ -86,6 +86,13 @@ type RunConfig struct {
 	// can be cross-checked and regressions bisected.
 	NoBatch bool
 
+	// NoBloofi disables the Bloofi signature directory and forces the
+	// software begin-time scans (PTS, BFGTS-SW, BFGTS-NoOverhead) back to
+	// the literal linear CPU-table walk. Like NoBatch, results are
+	// byte-identical either way (pinned by the bloofi differential test);
+	// the flag exists for cross-checking and bisection.
+	NoBloofi bool
+
 	// Decisions, if non-nil, receives one record per scheduling decision
 	// (serialize-vs-proceed at begin, stall on NACK) into the per-thread
 	// shards; it must have at least Cores*ThreadsPerCore shards. Recording
@@ -438,6 +445,7 @@ func NewRunner(cfg RunConfig) *Runner {
 		Wake:       func(tid int) { mac.ThreadWake(r.ctxs[tid].th) },
 		Rand:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bf0f7c9)),
 		Metrics:    cfg.Metrics,
+		LinearScan: cfg.NoBloofi,
 	}
 	r.mgr = cfg.NewManager(env)
 

@@ -1,6 +1,10 @@
 package stm
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/core"
+)
 
 // The runtime halves of the package's allocation discipline (the static
 // half is bfgtsvet's allocfree analyzer over the annotated hot paths).
@@ -116,5 +120,45 @@ func TestCommitPathAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(100, run); allocs != float64(len(vars)) {
 		t.Fatalf("commit of %d writes allocates %.1f objects/op, want exactly %d (one published cell per TVar)",
 			len(vars), allocs, len(vars))
+	}
+}
+
+// TestPredictPathAllocFree pins the BFGTS begin-time prediction at zero
+// allocations per call in both modes: the Bloofi directory probe (suspect
+// set into a pooled buffer, tree descent on a pooled cursor) and the
+// linear fallback. Slot churn through the directory observer is included —
+// the live insert/remove-with-repair path must be as silent as the probe.
+func TestPredictPathAllocFree(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		name := "bloofi"
+		if linear {
+			name = "linear"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := NewSystem(Config{Workers: 8, StaticTxs: 4, Scheduler: SchedBFGTS, LinearPredict: linear})
+			m := sys.mgr.(*bfgtsManager)
+			// Learned confidence so predictions carry a non-empty suspect
+			// set, and a few running enemies for the probe to find.
+			m.conf.Add(0, 1, 1.0)
+			m.conf.Add(0, 2, 1.0)
+			run := func() {
+				sys.setRunning(3, 1)
+				sys.setRunning(5, 2)
+				sys.setRunning(6, 3)
+				if enemy := m.predict(0, 0); enemy < 0 {
+					t.Fatal("saturated confidence predicted no enemy")
+				}
+				sys.setRunning(3, core.NoTx)
+				sys.setRunning(5, core.NoTx)
+				sys.setRunning(6, core.NoTx)
+				if m.predict(0, 0) >= 0 {
+					t.Fatal("empty machine predicted an enemy")
+				}
+			}
+			run() // warm pooled buffers
+			if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+				t.Fatalf("predict cycle allocates %.1f objects/op, want 0", allocs)
+			}
+		})
 	}
 }

@@ -28,6 +28,13 @@ go test -race "$@" ./...
 tmp="$workdir/export.json"
 go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -json-out "$tmp" >/dev/null
 go run ./scripts/jsonverify "$tmp"
+# Bloofi differential gate: the same experiment cell with the signature
+# directory disabled (-no-bloofi) must be byte-identical — the directory
+# is a host-side index, never a result change. The randomized in-process
+# differential is TestBloofiMatchesLinear; this catches CLI-level drift.
+bloofitmp="$workdir/export-linear.json"
+go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -no-bloofi -json-out "$bloofitmp" >/dev/null
+cmp "$tmp" "$bloofitmp"
 # STM smoke: a tiny stmbench sweep must run all three contention managers
 # and emit an export that passes the same schema gate.
 stmtmp="$workdir/stm.json"
@@ -45,8 +52,8 @@ go run ./scripts/jsonverify "$chrometmp"
 # Bench smoke: compile and run each hot-path microbenchmark once. The
 # paired Test*AllocFree tests already gate the 0 allocs/op contract; this
 # catches benchmarks that rot until release time.
-go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate|BenchmarkSTMContended' \
-	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ ./internal/stm/ >/dev/null
+go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate|BenchmarkSTMContended$|BenchmarkTreeProbe|BenchmarkAtomicTreeProbe|BenchmarkBFGTSPredict' \
+	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ ./internal/stm/ ./internal/bloofi/ ./internal/sched/ >/dev/null
 # Fig4a wall-clock gate: the end-to-end figure run must stay within 15% of
 # the committed baseline, so batching-path regressions fail here instead of
 # rotting. The baseline is machine-specific — on other hardware either
