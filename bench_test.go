@@ -15,9 +15,13 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchConfig is the reduced scale used for benchmarks.
@@ -116,4 +120,56 @@ func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
 
 func BenchmarkAblationSuspendPolicy(b *testing.B) {
 	runExperiment(b, "abl-suspend", nil)
+}
+
+// BenchmarkFig4aSharded regenerates Figure 4a with every simulation split
+// into 4 entangled shards (stamp workloads have no shard partition, so this
+// exercises the shared-clock lane driver). Output is byte-identical to the
+// unsharded run — this benchmark prices the entanglement overhead against
+// BenchmarkFig4a.
+func BenchmarkFig4aSharded(b *testing.B) {
+	exp, ok := harness.ExperimentByID("fig4a")
+	if !ok {
+		b.Fatal("fig4a experiment missing")
+	}
+	cfg := benchConfig()
+	cfg.Shards = 4
+	for i := 0; i < b.N; i++ {
+		rep := exp.Run(harness.NewRunner(cfg))
+		b.ReportMetric(rep.Values["avg_BFGTS-HW"], "bfgts-hw-avg-speedup")
+	}
+}
+
+// BenchmarkWideSharded sweeps the shard count on a 256-core, 100k-transaction
+// wide simulation under the shard-safe manager — the fully-partitioned path.
+// The simulated result is identical at every shard count (pinned by
+// TestPartitionedWideMatchesSequential); what changes is host wall-clock:
+// each lane owns a small event heap whose horizon covers only its own
+// cores, so horizon batching coalesces far more work per event and heap
+// operations shrink, on top of any goroutine parallelism the host offers.
+func BenchmarkWideSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64, 128} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Setup (thread contexts, machines, directories) is
+				// identical at every shard count; time only the run.
+				b.StopTimer()
+				r := sim.NewRunner(sim.RunConfig{
+					Cores:          256,
+					ThreadsPerCore: 4,
+					Seed:           1,
+					Workload:       workload.NewWide(256, 4, 100_000),
+					NewManager:     func(env sched.Env) sched.Manager { return sched.NewPerThreadBackoff(env) },
+					MaxCycles:      2_000_000_000_000,
+					Shards:         shards,
+				})
+				b.StartTimer()
+				res := r.Run()
+				if res.TimedOut {
+					b.Fatal("wide simulation timed out")
+				}
+				b.ReportMetric(float64(res.Makespan), "sim-cycles")
+			}
+		})
+	}
 }

@@ -72,6 +72,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = all CPUs, 1 = serial)")
 	noBatch := flag.Bool("no-batch", false, "disable horizon-batched execution (legacy per-access events; identical output, slower)")
 	noBloofi := flag.Bool("no-bloofi", false, "disable the Bloofi signature directory (linear begin-time scans; identical output, slower at high core counts)")
+	shards := flag.Int("shards", 1, "split each simulation into this many synchronized engine/directory shards (identical output at any count)")
 	quiet := flag.Bool("quiet", false, "suppress per-simulation progress lines on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -112,7 +113,7 @@ func main() {
 		}()
 	}
 
-	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel, NoBatch: *noBatch, NoBloofi: *noBloofi}
+	cfg := harness.Config{Cores: *cores, ThreadsPerCore: *tpc, Seed: *seed, Scale: *scale, Workers: *parallel, NoBatch: *noBatch, NoBloofi: *noBloofi, Shards: *shards}
 	if !*quiet {
 		var mu sync.Mutex
 		done := 0
@@ -185,8 +186,12 @@ func singleRun(cfg harness.Config, bench, manager string, bloom int, traceFile, 
 	r := harness.NewRunner(cfg)
 	f, ok := stamp.ByName(bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", bench)
-		os.Exit(1)
+		if bench == "wide" {
+			f, ok = harness.WideFactory(cfg.Cores, cfg.ThreadsPerCore), true
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", bench)
+			os.Exit(1)
+		}
 	}
 	spec, ok := specByName(manager, bloom)
 	if !ok {
@@ -301,6 +306,9 @@ func specByName(name string, bloom int) (harness.ManagerSpec, bool) {
 		if m.Name == name {
 			return m, true
 		}
+	}
+	if name == "Backoff-PT" {
+		return harness.PerThreadBackoffSpec(), true
 	}
 	modes := map[string]sched.BFGTSMode{
 		"BFGTS-SW":         sched.BFGTSSW,

@@ -18,13 +18,16 @@ import (
 // explains *why* a gate regressed, and the gate catches allocation sources
 // (map growth, runtime-internal paths) the analyzer cannot see.
 var gateEntryPoints = map[string][]string{
-	"tm": { // TestTxLifecycleAllocFree
+	"tm": { // TestTxLifecycleAllocFree / TestShardHotPathAllocFree (via processDrained)
 		"Begin", "Access", "Commit", "Abort", "release", "Unpin",
 		"add", "has", "each", "appendTo", "intersects", "reset",
+		"LineWriteHeld",
 	},
-	"sim": { // TestEngineDispatchAllocFree
+	"sim": { // TestEngineDispatchAllocFree / TestShardHotPathAllocFree
 		"At", "After", "AfterArg", "AtHandle", "AfterHandle",
 		"AtArgHandle", "AfterArgHandle", "Step", "push", "pop",
+		"PeekKey", "Publish", "MinOther", "probeShared", "drainInbound",
+		"processDrained", "waitHorizon", "inboundEmpty",
 	},
 	"bloom": { // TestEq3EstimateAllocFree
 		"EstimateCardinality", "EstimateIntersection",

@@ -44,7 +44,72 @@ func Experiments() []Experiment {
 		{"abl-alias", "Ablation: confidence-table aliasing (paper's future-work scheme)", AblAliasing, warmAliasing},
 		{"abl-suspend", "Ablation: spin-vs-yield suspend policy (Example 2's size test)", AblSuspend, warmSuspend},
 		{"regret", "Per-manager decision-regret accounting (overcaution vs undercaution)", Regret, warmRegret},
+		{"wide", "Dense many-core benchmark for sharded simulation (integer-exact at any -shards)", Wide, warmWide},
 	}
+}
+
+// WideFactory builds the wide benchmark at a given machine geometry. Unlike
+// the stamp factories, the workload's address layout depends on the core
+// count (per-core private regions plus a shared read-only region), so the
+// factory is constructed per configuration rather than registered globally.
+func WideFactory(cores, tpc int) workload.Factory {
+	return workload.NewFactory("wide", 100_000, func(totalTxs int) workload.Workload {
+		return workload.NewWide(cores, tpc, totalTxs)
+	})
+}
+
+// wideSpecs are the managers the wide experiment compares: the shared-rand
+// Backoff baseline (entangled at shards>1), its shard-safe per-thread
+// variant (fully partitioned), and the reactive/proactive schedulers.
+func wideSpecs() []ManagerSpec {
+	return []ManagerSpec{
+		BaselineSpecs()[0],
+		PerThreadBackoffSpec(),
+		BaselineSpecs()[2],
+		bfgtsSpec(sched.BFGTSHW, 2048, 0),
+	}
+}
+
+// Wide reports the dense wide benchmark used by the sharded-simulation
+// gates. Every reported value derives from integers (makespan, commit and
+// abort counts, and their ratio), so the report is byte-identical at any
+// -shards setting; the attempts-per-commit mean is deliberately excluded —
+// its Welford merge order differs across shard counts by ULPs (see
+// sim.Result.AttemptsPerCommit).
+func Wide(r *Runner) *Report {
+	rep := &Report{
+		ID: "wide",
+		Title: fmt.Sprintf("Dense wide benchmark (%d cores, %d threads/core)",
+			r.cfg.Cores, r.cfg.ThreadsPerCore),
+		Columns: []string{"Manager", "Makespan", "Commits", "Aborts", "Contention"},
+		Values:  map[string]float64{},
+	}
+	f := WideFactory(r.cfg.Cores, r.cfg.ThreadsPerCore)
+	for _, m := range wideSpecs() {
+		res := r.Run(f, m, false)
+		rep.Rows = append(rep.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", res.Makespan),
+			fmt.Sprintf("%d", res.Commits),
+			fmt.Sprintf("%d", res.Aborts),
+			fmt.Sprintf("%.1f%%", res.ContentionPct()),
+		})
+		rep.Values["makespan_"+m.Name] = float64(res.Makespan)
+		rep.Values["commits_"+m.Name] = float64(res.Commits)
+		rep.Values["aborts_"+m.Name] = float64(res.Aborts)
+		rep.Values["cont_"+m.Name] = res.ContentionPct()
+	}
+	return rep
+}
+
+// warmWide schedules the wide experiment's cells.
+func warmWide(r *Runner) {
+	f := WideFactory(r.cfg.Cores, r.cfg.ThreadsPerCore)
+	var fns []func()
+	for _, m := range wideSpecs() {
+		fns = append(fns, func() { r.Run(f, m, false) })
+	}
+	fanOut(fns)
 }
 
 // RunAll executes experiments concurrently against one shared runner —

@@ -44,6 +44,11 @@ type Config struct {
 	// byte-identical either way; the switch exists for differential
 	// testing and bisection.
 	NoBloofi bool
+	// Shards splits every simulation into that many concurrently
+	// synchronized engine/directory shards (sim.RunConfig.Shards). Output
+	// is byte-identical at any shard count; the knob trades single-run
+	// wall-clock for shard coordination. 0 or 1 means unsharded.
+	Shards int
 	// Progress, if non-nil, receives one line per simulation as it
 	// finishes (cache hits are silent). It may be called from multiple
 	// goroutines concurrently.
@@ -94,6 +99,17 @@ func BaselineSpecs() []ManagerSpec {
 	}
 }
 
+// PerThreadBackoffSpec is the shard-safe Backoff variant (per-thread
+// jitter streams). It is kept out of BaselineSpecs so the pinned baseline
+// reports are unchanged; the wide experiment and the sharded differential
+// gates use it where fully-partitioned execution matters.
+func PerThreadBackoffSpec() ManagerSpec {
+	return ManagerSpec{
+		Name: "Backoff-PT",
+		New:  func(env sched.Env) sched.Manager { return sched.NewPerThreadBackoff(env) },
+	}
+}
+
 // BloomSizes is the paper's sweep range.
 var BloomSizes = []int{512, 1024, 2048, 4096, 8192}
 
@@ -108,6 +124,7 @@ type runKey struct {
 	profile  bool
 	noBatch  bool
 	noBloofi bool
+	shards   int
 }
 
 // cacheEntry is one memoized simulation. The first caller of a runKey
@@ -187,13 +204,20 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 			Workload:       w,
 			NewManager:     m.New,
 			// Exact-set profiling feeds the bloom.est_error summary; it
-			// costs host time, not simulated cycles.
-			ProfileSimilarity: reg != nil,
+			// costs host time, not simulated cycles. It reads every
+			// thread's sets across the whole machine, so it is a global
+			// observer that would force a sharded run back to the
+			// entangled path — when the caller explicitly asked for the
+			// sharded engine, prefer the engine: shard-safe configs then
+			// take the partitioned path and the snapshot carries the
+			// sim.shard.* instruments instead of bloom.est_error.
+			ProfileSimilarity: reg != nil && r.cfg.Shards <= 1,
 			MaxCycles:         100_000_000_000,
 			Trace:             rec,
 			Metrics:           reg,
 			NoBatch:           r.cfg.NoBatch,
 			NoBloofi:          r.cfg.NoBloofi,
+			Shards:            r.cfg.Shards,
 		}).Run()
 	})
 	res.ManagerName = m.Name
@@ -207,7 +231,7 @@ func (r *Runner) RunInstrumented(f workload.Factory, m ManagerSpec, rec *trace.R
 // cycle); the returned set is read-only and shared — callers must not
 // Reset its shards.
 func (r *Runner) RunDecisions(f workload.Factory, m ManagerSpec) (*sim.Result, *decision.Set) {
-	key := runKey{f.Name(), m.Name, r.cfg.Cores, r.cfg.ThreadsPerCore, r.cfg.Seed, r.cfg.Scale, false, r.cfg.NoBatch, r.cfg.NoBloofi}
+	key := runKey{f.Name(), m.Name, r.cfg.Cores, r.cfg.ThreadsPerCore, r.cfg.Seed, r.cfg.Scale, false, r.cfg.NoBatch, r.cfg.NoBloofi, r.cfg.Shards}
 	r.mu.Lock()
 	if e, ok := r.decCache[key]; ok {
 		r.mu.Unlock()
@@ -231,6 +255,7 @@ func (r *Runner) RunDecisions(f workload.Factory, m ManagerSpec) (*sim.Result, *
 			Decisions:      set,
 			NoBatch:        r.cfg.NoBatch,
 			NoBloofi:       r.cfg.NoBloofi,
+			Shards:         r.cfg.Shards,
 		}).Run()
 		res.ManagerName = m.Name
 		e.res, e.set = res, set
@@ -256,6 +281,7 @@ func (r *Runner) ReplayFlips(f workload.Factory, m ManagerSpec, maxFlips int) *s
 			MaxCycles:      100_000_000_000,
 			NoBatch:        r.cfg.NoBatch,
 			NoBloofi:       r.cfg.NoBloofi,
+			Shards:         r.cfg.Shards,
 		}, maxFlips)
 	})
 	out.Base.ManagerName = m.Name
@@ -269,7 +295,7 @@ func (r *Runner) Baseline(f workload.Factory) *sim.Result {
 }
 
 func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profile bool) *sim.Result {
-	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile, r.cfg.NoBatch, r.cfg.NoBloofi}
+	key := runKey{f.Name(), m.Name, cores, tpc, r.cfg.Seed, r.cfg.Scale, profile, r.cfg.NoBatch, r.cfg.NoBloofi, r.cfg.Shards}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -292,6 +318,7 @@ func (r *Runner) runAt(f workload.Factory, m ManagerSpec, cores, tpc int, profil
 			MaxCycles:         100_000_000_000,
 			NoBatch:           r.cfg.NoBatch,
 			NoBloofi:          r.cfg.NoBloofi,
+			Shards:            r.cfg.Shards,
 		}).Run()
 		res.ManagerName = m.Name // keep the spec name (includes Bloom size)
 		e.res = res

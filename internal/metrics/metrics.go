@@ -211,6 +211,61 @@ func (r *Registry) Series(name string, capacity int) *Series {
 	return s
 }
 
+// Merge folds every instrument of src into r: counters add, gauges take
+// src's last value, histograms and summaries merge their underlying stats,
+// and series append src's points after r's. Sharded simulations use it to
+// fold per-shard registries into the caller's registry after the run; the
+// per-name merges are independent, so map iteration order cannot affect
+// the merged state. No-op when either registry is nil.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, c := range src.counters {
+		dst, ok := r.counters[name]
+		if !ok {
+			dst = &Counter{}
+			r.counters[name] = dst
+		}
+		dst.v += c.v
+	}
+	for name, g := range src.gauges {
+		dst, ok := r.gauges[name]
+		if !ok {
+			dst = &Gauge{}
+			r.gauges[name] = dst
+		}
+		dst.v = g.v
+	}
+	for name, h := range src.histograms {
+		dst, ok := r.histograms[name]
+		if !ok {
+			dst = &Histogram{}
+			r.histograms[name] = dst
+		}
+		dst.h.Merge(&h.h)
+	}
+	for name, s := range src.summaries {
+		dst, ok := r.summaries[name]
+		if !ok {
+			dst = &Summary{}
+			r.summaries[name] = dst
+		}
+		dst.s.Merge(&s.s)
+	}
+	for name, ser := range src.series {
+		dst, ok := r.series[name]
+		if !ok {
+			dst = NewSeries(cap(ser.buf))
+			r.series[name] = dst
+		}
+		for i := 0; i < ser.n; i++ {
+			p := ser.buf[(ser.start+i)%ser.n]
+			dst.Append(p.T, p.V)
+		}
+	}
+}
+
 // HistogramStats is the snapshot form of a histogram.
 type HistogramStats struct {
 	N    int64   `json:"n"`

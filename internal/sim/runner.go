@@ -93,6 +93,29 @@ type RunConfig struct {
 	// the flag exists for cross-checking and bisection.
 	NoBloofi bool
 
+	// Shards splits the single simulation into per-shard engine/machine
+	// lanes, each owning a contiguous core range, executed under the
+	// conservative-PDES protocol in shard.go. Output is byte-identical to
+	// Shards == 1 at any shard count (pinned by the sharded differential
+	// tests and the check.sh cmp gate). Zero or one means unsharded.
+	//
+	// Two execution modes exist behind this knob (shard.go): entangled
+	// lanes (any workload/manager; lanes share one clock and sequence
+	// source and a single driver executes the global-minimum event, so the
+	// run is identical to the single-heap run by construction) and fully
+	// partitioned lanes (workloads implementing workload.Sharder under a
+	// sched.ShardSafe manager; lanes free-run concurrently under a
+	// lookahead barrier, exchanging timestamped cross-shard probe
+	// messages).
+	Shards int
+
+	// ShardLookahead bounds the simulated-clock skew between partitioned
+	// lanes, in cycles: a lane may run ahead of the slowest other lane's
+	// published horizon by at most this much before it must wait at the
+	// shard barrier. Zero means DefaultShardLookahead. Ignored outside
+	// partitioned mode.
+	ShardLookahead int64
+
 	// Decisions, if non-nil, receives one record per scheduling decision
 	// (serialize-vs-proceed at begin, stall on NACK) into the per-thread
 	// shards; it must have at least Cores*ThreadsPerCore shards. Recording
@@ -146,7 +169,11 @@ type Result struct {
 	Latency []stats.Histogram
 
 	// AttemptsPerCommit summarizes how many attempts each committed
-	// execution needed (1 = first try).
+	// execution needed (1 = first try). In partitioned sharded runs the
+	// per-shard summaries are folded with stats.Summary.Merge, whose
+	// Welford recombination can differ from the sequential sample order in
+	// the last float64 bits; every integer field (N, Min, Max) and every
+	// other Result field is exactly identical.
 	AttemptsPerCommit stats.Summary
 
 	// TimedOut reports the MaxCycles guard fired before completion.
@@ -179,6 +206,13 @@ type threadCtx struct {
 	tid  int
 	th   *Thread
 	prog workload.Program
+
+	// lane is the engine/machine shard this thread runs on; dom is the
+	// conflict-detection/scheduling domain it belongs to. Unsharded and
+	// entangled runs have a single domain shared by every lane;
+	// partitioned runs pair lane i with domain i.
+	lane *laneState
+	dom  *domainState
 
 	resume func() // continuation to run when (re)dispatched
 
@@ -346,15 +380,59 @@ func (s *ctxScratch) putExactSet(set *bloom.ExactSet) {
 	s.setFree = append(s.setFree, set)
 }
 
-// Runner executes a workload through the TM under a contention manager.
-type Runner struct {
-	cfg RunConfig
-	eng *Engine
-	mac *Machine
+// runMode selects how the lanes execute (see shard.go for the sharded
+// drivers and the protocol description).
+type runMode int
+
+const (
+	// modeSeq is the classic single-lane, single-domain run.
+	modeSeq runMode = iota
+	// modeEntangled runs per-shard engines and machines over one shared
+	// clock, sequence source and domain; a single driver executes the
+	// globally minimal (time, seq) event across lane heaps, which is
+	// byte-identical to the single-heap run by construction.
+	modeEntangled
+	// modePartitioned runs per-shard engines, machines AND domains (line
+	// directory, manager, waiter queues, accumulators) on concurrent
+	// goroutines under the conservative lookahead barrier.
+	modePartitioned
+)
+
+// laneState is one simulation shard's execution resources: its event
+// engine, its slice of the machine's cores, and the per-lane bookkeeping
+// that used to live directly on Runner.
+type laneState struct {
+	idx      int
+	coreBase int // absolute CPU id of the lane's first core
+	eng      *Engine
+	mac      *Machine
+
+	// batchNow is the logical time of the access currently executing
+	// inside a horizon batch on this lane (0 when no batch is in flight):
+	// the engine clock still reads the batch's start time, so code that
+	// can run underneath a batched access — the remote-doom hook — must
+	// take its timestamps from nowFor, not Engine.Now.
+	batchNow int64
+
+	makespan int64 // set when the lane's last thread exits
+	timedOut bool
+
+	dom *domainState // the domain this lane's threads belong to
+
+	// shard is the partitioned-mode coupling (barrier slot, probe rings,
+	// message counters); nil in sequential and entangled runs.
+	shard *laneShard
+}
+
+// domainState is one conflict-detection and scheduling domain: the line
+// directory, the contention manager and its CPU table, the waiter queues,
+// and every accumulator that feeds the Result. Unsharded and entangled
+// runs have exactly one domain; partitioned runs give each lane its own
+// and merge them deterministically afterwards.
+type domainState struct {
 	sys *tm.System
 	mgr sched.Manager
 
-	ctxs    []*threadCtx
 	cpuSlot []int
 
 	stallWaiters map[*tm.Tx][]*threadCtx
@@ -366,24 +444,15 @@ type Runner struct {
 	latency       []stats.Histogram
 	attempts      stats.Summary
 
-	makespan int64
-	timedOut bool
-
-	// beginCalls counts OnBegin consultations across all threads in engine
-	// order — the coordinate system of RunConfig.FlipBegin and of every
-	// begin record's BeginIndex.
+	// beginCalls counts OnBegin consultations across the domain's threads
+	// in engine order — the coordinate system of RunConfig.FlipBegin and
+	// of every begin record's BeginIndex (both only used in single-domain
+	// modes, where it matches the historical global counter exactly).
 	beginCalls int64
 
-	// noBatch mirrors cfg.NoBatch. batchNow is the logical time of the
-	// access currently executing inside a horizon batch (0 when no batch
-	// is in flight): the engine clock still reads the batch's start time,
-	// so code that can run underneath a batched access — the remote-doom
-	// hook — must take its timestamps from simNow, not Engine.Now.
-	noBatch  bool
-	batchNow int64
-
 	// Prediction-quality accounting and the time-series sampler (only
-	// wired when cfg.Metrics is set; all instrument pointers are nil-safe).
+	// wired when the domain has a registry; all instruments are nil-safe).
+	reg          *metrics.Registry
 	metPredSer   *metrics.Counter // serializations on a predicted conflict
 	metPredTrue  *metrics.Counter // ...whose counterparty really overlapped
 	metPredFalse *metrics.Counter // ...that waited on a non-overlapping tx
@@ -397,6 +466,46 @@ type Runner struct {
 	lastCommits  int64
 	lastAborts   int64
 	abortEwma    float64
+}
+
+// bindInstruments acquires the domain's instruments once, at construction
+// time; every hot-path record goes through the cached pointers.
+func (dom *domainState) bindInstruments() {
+	reg := dom.reg
+	if reg == nil {
+		return
+	}
+	dom.metPredSer = reg.Counter("sim.pred.serializations")
+	dom.metPredTrue = reg.Counter("sim.pred.true")
+	dom.metPredFalse = reg.Counter("sim.pred.false")
+	dom.metPrecision = reg.Gauge("sim.pred.precision")
+	dom.metEstErr = reg.Summary("bloom.est_error")
+	dom.tsPressure = reg.Series("ts.pressure", metrics.DefaultSeriesCap)
+	dom.tsConf = reg.Series("ts.mean_confidence", metrics.DefaultSeriesCap)
+	dom.tsAbortRate = reg.Series("ts.abort_rate", metrics.DefaultSeriesCap)
+}
+
+// Runner executes a workload through the TM under a contention manager.
+type Runner struct {
+	cfg  RunConfig
+	mode runMode
+
+	// clock and seqSrc back the shared (time, seq) coordinate system of
+	// entangled lanes (engine.go); unused pointers otherwise.
+	clock  int64
+	seqSrc uint64
+
+	lanes []*laneState
+	doms  []*domainState
+	ctxs  []*threadCtx
+
+	// active is the lane currently executing an event. Sequential and
+	// entangled drivers maintain it (exactly one event runs at a time);
+	// partitioned lanes never read it — their domains are lane-local, so
+	// every hook resolves its time source through the victim's own lane.
+	active *laneState
+
+	noBatch bool // mirrors cfg.NoBatch
 
 	// Time-series sampler: one cached closure rescheduling itself.
 	sampleEvery int64
@@ -414,60 +523,111 @@ func NewRunner(cfg RunConfig) *Runner {
 	if cfg.TMCosts == (TMCosts{}) {
 		cfg.TMCosts = DefaultTMCosts()
 	}
-	eng := NewEngine()
-	mac := NewMachine(eng, cfg.Cores, cfg.OSCosts)
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Cores {
+		cfg.Shards = cfg.Cores
+	}
 	nThreads := cfg.Cores * cfg.ThreadsPerCore
 	nStatic := cfg.Workload.NumStatic()
 
 	r := &Runner{
-		cfg:           cfg,
-		eng:           eng,
-		mac:           mac,
-		sys:           tm.NewSystem(nStatic),
-		cpuSlot:       make([]int, cfg.Cores),
-		stallWaiters:  make(map[*tm.Tx][]*threadCtx),
-		beginWaiters:  make(map[int][]*threadCtx),
-		simSum:        make([]float64, nStatic),
-		simCnt:        make([]int64, nStatic),
-		commitsPerStx: make([]int64, nStatic),
-		latency:       make([]stats.Histogram, nStatic),
-		noBatch:       cfg.NoBatch,
+		cfg:     cfg,
+		noBatch: cfg.NoBatch,
 	}
-	for i := range r.cpuSlot {
-		r.cpuSlot[i] = core.NoTx
+	r.mode = r.chooseMode()
+
+	// Lanes: per-shard engines and machines over contiguous core ranges.
+	// Sequential keeps one self-clocked engine; entangled lanes share the
+	// runner's clock and sequence source; partitioned lanes are fully
+	// self-clocked (their skew is bounded by the shard barrier instead).
+	nLanes := 1
+	if r.mode != modeSeq {
+		nLanes = cfg.Shards
+	}
+	for i := 0; i < nLanes; i++ {
+		lo := i * cfg.Cores / nLanes
+		hi := (i + 1) * cfg.Cores / nLanes
+		var eng *Engine
+		if r.mode == modeEntangled {
+			eng = NewLaneEngine(&r.clock, &r.seqSrc)
+		} else {
+			eng = NewEngine()
+		}
+		r.lanes = append(r.lanes, &laneState{
+			idx:      i,
+			coreBase: lo,
+			eng:      eng,
+			mac:      NewMachine(eng, hi-lo, cfg.OSCosts),
+		})
 	}
 
-	env := sched.Env{
-		NumCPUs:    cfg.Cores,
-		NumThreads: nThreads,
-		NumStatic:  nStatic,
-		CPUOf:      func(tid int) int { return tid % cfg.Cores },
-		Wake:       func(tid int) { mac.ThreadWake(r.ctxs[tid].th) },
-		Rand:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bf0f7c9)),
-		Metrics:    cfg.Metrics,
-		LinearScan: cfg.NoBloofi,
+	// Domains: one shared domain unless partitioned.
+	nDoms := 1
+	if r.mode == modePartitioned {
+		nDoms = nLanes
 	}
-	r.mgr = cfg.NewManager(env)
-
-	if reg := cfg.Metrics; reg != nil {
-		r.metPredSer = reg.Counter("sim.pred.serializations")
-		r.metPredTrue = reg.Counter("sim.pred.true")
-		r.metPredFalse = reg.Counter("sim.pred.false")
-		r.metPrecision = reg.Gauge("sim.pred.precision")
-		r.metEstErr = reg.Summary("bloom.est_error")
-		r.tsPressure = reg.Series("ts.pressure", metrics.DefaultSeriesCap)
-		r.tsConf = reg.Series("ts.mean_confidence", metrics.DefaultSeriesCap)
-		r.tsAbortRate = reg.Series("ts.abort_rate", metrics.DefaultSeriesCap)
+	for i := 0; i < nDoms; i++ {
+		dom := &domainState{
+			sys:           tm.NewSystem(nStatic),
+			cpuSlot:       make([]int, cfg.Cores),
+			stallWaiters:  make(map[*tm.Tx][]*threadCtx),
+			beginWaiters:  make(map[int][]*threadCtx),
+			simSum:        make([]float64, nStatic),
+			simCnt:        make([]int64, nStatic),
+			commitsPerStx: make([]int64, nStatic),
+			latency:       make([]stats.Histogram, nStatic),
+		}
+		for j := range dom.cpuSlot {
+			dom.cpuSlot[j] = core.NoTx
+		}
+		if cfg.Metrics != nil {
+			if nDoms == 1 {
+				dom.reg = cfg.Metrics
+			} else {
+				// Partitioned domains record into private registries,
+				// merged into cfg.Metrics after the run (the registry is
+				// not safe for concurrent use).
+				dom.reg = metrics.New()
+			}
+		}
+		env := sched.Env{
+			NumCPUs:    cfg.Cores,
+			NumThreads: nThreads,
+			NumStatic:  nStatic,
+			CPUOf:      func(tid int) int { return tid % cfg.Cores },
+			Wake: func(tid int) {
+				c := r.ctxs[tid]
+				c.lane.mac.ThreadWake(c.th)
+			},
+			Rand:       rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5bf0f7c9)),
+			Metrics:    dom.reg,
+			LinearScan: cfg.NoBloofi,
+		}
+		dom.mgr = cfg.NewManager(env)
+		dom.bindInstruments()
+		dom.sys.OnDoom = r.onRemoteDoom
+		r.doms = append(r.doms, dom)
 	}
-
-	r.sys.OnDoom = r.onRemoteDoom
+	for _, ln := range r.lanes {
+		ln.dom = r.doms[0]
+		if nDoms > 1 {
+			ln.dom = r.doms[ln.idx]
+		}
+	}
 
 	base := workload.NewRNG(cfg.Seed)
 	for tid := 0; tid < nThreads; tid++ {
-		th := mac.AddThread(tid % cfg.Cores)
+		absCore := tid % cfg.Cores
+		lane := r.laneOfCore(absCore)
+		th := lane.mac.AddThread(absCore - lane.coreBase)
+		th.ID = tid // global thread id (machine-local by default)
 		ctx := &threadCtx{
 			tid:         tid,
 			th:          th,
+			lane:        lane,
+			dom:         lane.dom,
 			prog:        cfg.Workload.NewProgram(tid, nThreads, base.Derive(uint64(tid)).Uint64()),
 			waitDTx:     core.NoTx,
 			ctxScratch:  getScratch(cfg.ProfileSimilarity),
@@ -482,8 +642,40 @@ func NewRunner(cfg RunConfig) *Runner {
 		ctx.resume = ctx.contFetchNext
 		r.ctxs = append(r.ctxs, ctx)
 	}
-	mac.OnDispatch = r.dispatched
+	for _, ln := range r.lanes {
+		ln.mac.OnDispatch = r.dispatched
+	}
+	if r.mode == modePartitioned {
+		r.setupShards()
+	}
 	return r
+}
+
+// chooseMode picks the execution mode for the configured shard count:
+// unsharded, entangled (the universal byte-identical mode), or partitioned
+// (the concurrent mode, when the workload and manager support it).
+func (r *Runner) chooseMode() runMode {
+	cfg := &r.cfg
+	if cfg.Shards <= 1 {
+		return modeSeq
+	}
+	if !r.partitionable() {
+		return modeEntangled
+	}
+	return modePartitioned
+}
+
+// laneOfCore maps an absolute CPU id to the lane owning it.
+func (r *Runner) laneOfCore(cpu int) *laneState {
+	// Lane ranges are [i*C/S, (i+1)*C/S); invert by scanning — lanes are
+	// few and this only runs at construction time.
+	for _, ln := range r.lanes {
+		hi := (ln.idx + 1) * r.cfg.Cores / len(r.lanes)
+		if cpu >= ln.coreBase && cpu < hi {
+			return ln
+		}
+	}
+	return r.lanes[len(r.lanes)-1]
 }
 
 // bindContinuations builds the thread's reusable continuations once and
@@ -498,7 +690,7 @@ func (r *Runner) bindContinuations(ctx *threadCtx) {
 	ctx.contTryBegin = func() { r.tryBegin(ctx) }
 	ctx.contStepAccess = func() { r.stepAccess(ctx) }
 
-	eng := r.eng
+	eng := ctx.lane.eng
 	ctx.hNonTxStep = eng.Register(func() {
 		ctx.resume = ctx.contNonTx
 		if r.maybePreempt(ctx) {
@@ -545,7 +737,7 @@ func (r *Runner) emit(ctx *threadCtx, kind trace.Kind, other, otherStx int, extr
 		return
 	}
 	r.cfg.Trace.Add(trace.Event{
-		Time:     r.eng.Now(),
+		Time:     ctx.lane.eng.Now(),
 		Kind:     kind,
 		Tid:      ctx.tid,
 		Stx:      ctx.desc.STx,
@@ -573,19 +765,20 @@ func (r *Runner) stxOfDTx(dtx int) int {
 // serialization is waiting out, so the prediction can be classified
 // true/false at this execution's commit. Only active with metrics on.
 func (r *Runner) recordPredWait(ctx *threadCtx, waitDTx int) {
-	if r.cfg.Metrics == nil {
+	dom := ctx.dom
+	if dom.reg == nil {
 		return
 	}
-	r.metPredSer.Inc()
+	dom.metPredSer.Inc()
 	if len(ctx.predWaits) >= predWaitCap {
 		return
 	}
-	if wtx := r.sys.ActiveTx(waitDTx); wtx != nil {
+	if wtx := dom.sys.ActiveTx(waitDTx); wtx != nil {
 		// Pin: the waited-on transaction usually finishes before this
 		// execution commits, and its pooled storage must not be recycled
 		// while the classifier still holds the pointer.
 		//bfgts:pin-handoff classifyPredWaits unpins every predWaits entry at commit
-		r.sys.Pin(wtx)
+		dom.sys.Pin(wtx)
 		ctx.predWaits = append(ctx.predWaits, wtx)
 	}
 }
@@ -598,15 +791,16 @@ func (r *Runner) classifyPredWaits(ctx *threadCtx, tx *tm.Tx) {
 	if len(ctx.predWaits) == 0 {
 		return
 	}
+	dom := ctx.dom
 	for i, wtx := range ctx.predWaits {
 		if tx.ConflictsWith(wtx) {
-			r.metPredTrue.Inc()
-			r.predTrue++
+			dom.metPredTrue.Inc()
+			dom.predTrue++
 		} else {
-			r.metPredFalse.Inc()
-			r.predFalse++
+			dom.metPredFalse.Inc()
+			dom.predFalse++
 		}
-		r.sys.Unpin(wtx)
+		dom.sys.Unpin(wtx)
 		ctx.predWaits[i] = nil
 	}
 	ctx.predWaits = ctx.predWaits[:0]
@@ -630,34 +824,59 @@ func (r *Runner) decOnCommit(ctx *threadCtx, tx *tm.Tx) {
 			o = decision.OJustified
 		}
 		ctx.dec.Resolve(e.tok, o, 0)
-		r.sys.Unpin(e.wtx)
+		ctx.dom.sys.Unpin(e.wtx)
 		ctx.decSer[i] = pendingSer{}
 	}
 	ctx.decSer = ctx.decSer[:0]
 }
 
-func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.th.Core }
+// cpuOf returns the thread's absolute CPU id (the machine's core index is
+// lane-local).
+func (r *Runner) cpuOf(ctx *threadCtx) int { return ctx.lane.coreBase + ctx.th.Core }
 
-// simNow is the current logical simulation time: the engine clock, or —
-// underneath a horizon-batched access — that access's completion time,
-// which the engine has not caught up to yet. Code that can execute on
-// both sides (the remote-doom hook and the spin charger) must use this
-// instead of Engine.Now so batched and per-event runs stamp identical
-// times.
-func (r *Runner) simNow() int64 {
-	if r.batchNow > 0 {
-		return r.batchNow
+// nowFor is the current logical simulation time as observed by code acting
+// on ctx: the executing lane's engine clock, or — underneath a
+// horizon-batched access — that access's completion time, which the engine
+// has not caught up to yet. In sequential and entangled runs exactly one
+// lane executes at a time (Runner.active); in partitioned runs every hook
+// that lands on ctx runs on ctx's own lane goroutine, so the executing
+// lane is ctx.lane.
+func (r *Runner) nowFor(ctx *threadCtx) int64 {
+	ln := r.active
+	if r.mode == modePartitioned {
+		ln = ctx.lane
 	}
-	return r.eng.Now()
+	if ln.batchNow > 0 {
+		return ln.batchNow
+	}
+	return ln.eng.Now()
+}
+
+// horizon is the conservative lookahead bound for batched execution on a
+// lane: the earliest pending event that could interleave. With one lane
+// (or fully partitioned lanes, whose heaps are causally independent) that
+// is the lane's own PeekTime; entangled lanes share one logical heap, so
+// the horizon is the minimum over all of them.
+func (r *Runner) horizon(ln *laneState) int64 {
+	if r.mode != modeEntangled {
+		return ln.eng.PeekTime()
+	}
+	min := int64(NoPending)
+	for _, l := range r.lanes {
+		if t := l.eng.PeekTime(); t < min {
+			min = t
+		}
+	}
+	return min
 }
 
 // setSlot updates the CPU-table slot for a core and notifies the manager.
-func (r *Runner) setSlot(cpu, dtx int) {
-	if r.cpuSlot[cpu] == dtx {
+func (r *Runner) setSlot(dom *domainState, cpu, dtx int) {
+	if dom.cpuSlot[cpu] == dtx {
 		return
 	}
-	r.cpuSlot[cpu] = dtx
-	r.mgr.OnCPUSlot(cpu, dtx)
+	dom.cpuSlot[cpu] = dtx
+	dom.mgr.OnCPUSlot(cpu, dtx)
 }
 
 // dispatched is the machine's OnDispatch hook.
@@ -666,7 +885,7 @@ func (r *Runner) dispatched(th *Thread) {
 	if ctx.tx != nil && !ctx.tx.Doomed {
 		// A transactional thread regained its core: its transaction is
 		// visible on the CPU table again.
-		r.setSlot(r.cpuOf(ctx), ctx.tx.DTx)
+		r.setSlot(ctx.dom, r.cpuOf(ctx), ctx.tx.DTx)
 	}
 	ctx.resume()
 }
@@ -674,13 +893,13 @@ func (r *Runner) dispatched(th *Thread) {
 // maybePreempt requeues the thread if its quantum expired and someone else
 // wants the core. It returns true if preempted; resume must already be set.
 func (r *Runner) maybePreempt(ctx *threadCtx) bool {
-	if !r.mac.ShouldPreempt(ctx.th) {
+	if !ctx.lane.mac.ShouldPreempt(ctx.th) {
 		return false
 	}
 	if ctx.tx != nil {
-		r.setSlot(r.cpuOf(ctx), core.NoTx)
+		r.setSlot(ctx.dom, r.cpuOf(ctx), core.NoTx)
 	}
-	r.mac.Preempt(ctx.th)
+	ctx.lane.mac.Preempt(ctx.th)
 	return true
 }
 
@@ -691,9 +910,9 @@ func (r *Runner) fetchNext(ctx *threadCtx) {
 		if ctx.tx != nil {
 			panic("sim: program finished with open transaction")
 		}
-		r.mac.ThreadExit(ctx.th)
-		if r.mac.LiveThreads() == 0 {
-			r.makespan = r.eng.Now()
+		ctx.lane.mac.ThreadExit(ctx.th)
+		if ctx.lane.mac.LiveThreads() == 0 {
+			ctx.lane.makespan = ctx.lane.eng.Now()
 		}
 		return
 	}
@@ -715,6 +934,7 @@ func (r *Runner) runNonTx(ctx *threadCtx) {
 		r.tryBegin(ctx)
 		return
 	}
+	eng := ctx.lane.eng
 	if r.noBatch {
 		chunk := ctx.pendingPre
 		if chunk > r.cfg.NonTxChunk {
@@ -722,10 +942,10 @@ func (r *Runner) runNonTx(ctx *threadCtx) {
 		}
 		ctx.pendingPre -= chunk
 		ctx.th.Charge(CatNonTx, chunk)
-		r.eng.AfterHandle(chunk, ctx.hNonTxStep)
+		eng.AfterHandle(chunk, ctx.hNonTxStep)
 		return
 	}
-	local := r.eng.Now()
+	local := eng.Now()
 	for {
 		chunk := ctx.pendingPre
 		if chunk > r.cfg.NonTxChunk {
@@ -734,18 +954,18 @@ func (r *Runner) runNonTx(ctx *threadCtx) {
 		t := local + chunk
 		ctx.pendingPre -= chunk
 		ctx.th.Charge(CatNonTx, chunk)
-		if t >= r.eng.PeekTime() || r.mac.ShouldPreemptAt(ctx.th, t) {
+		if t >= r.horizon(ctx.lane) || ctx.lane.mac.ShouldPreemptAt(ctx.th, t) {
 			// Horizon or quantum boundary: re-enter the engine at this
 			// chunk's completion time and take the per-event path there
 			// (contNonTxStep redoes the preemption check at engine time
 			// t, exactly as the legacy step does).
-			r.eng.AtHandle(t, ctx.hNonTxStep)
+			eng.AtHandle(t, ctx.hNonTxStep)
 			return
 		}
 		if ctx.pendingPre <= 0 {
 			// All pre-transaction compute consumed below the horizon with
 			// no preemption due: begin the transaction at its exact time.
-			r.eng.AtHandle(t, ctx.hTryBegin)
+			eng.AtHandle(t, ctx.hTryBegin)
 			return
 		}
 		local = t
@@ -769,19 +989,21 @@ func flipBegin(res sched.BeginResult) sched.BeginResult {
 
 // tryBegin consults the contention manager and acts on its decision.
 func (r *Runner) tryBegin(ctx *threadCtx) {
+	eng := ctx.lane.eng
+	dom := ctx.dom
 	if ctx.execStart < 0 {
-		ctx.execStart = r.eng.Now()
+		ctx.execStart = eng.Now()
 	}
 	// A pending serialize decision ends the moment the begin is retried:
 	// its wait is everything between the suspension and now.
 	if ctx.decSerTok >= 0 {
-		ctx.dec.SetWait(ctx.decSerTok, r.eng.Now()-ctx.decSerStart)
+		ctx.dec.SetWait(ctx.decSerTok, eng.Now()-ctx.decSerStart)
 		ctx.decSerTok = -1
 	}
-	res := r.mgr.OnBegin(ctx.tid, ctx.desc.STx)
-	r.beginCalls++
-	ctx.beginIndex = r.beginCalls
-	if r.cfg.FlipBegin == r.beginCalls {
+	res := dom.mgr.OnBegin(ctx.tid, ctx.desc.STx)
+	dom.beginCalls++
+	ctx.beginIndex = dom.beginCalls
+	if r.cfg.FlipBegin == dom.beginCalls {
 		res = flipBegin(res)
 	}
 	if res.Overhead > 0 {
@@ -792,10 +1014,10 @@ func (r *Runner) tryBegin(ctx *threadCtx) {
 		// ("when a transaction is allowed to execute, it broadcasts onto
 		// the interconnect the dTxID"): the slot becomes visible to other
 		// predictors immediately, which serializes same-instant begins.
-		r.setSlot(r.cpuOf(ctx), r.dtxOf(ctx))
+		r.setSlot(dom, r.cpuOf(ctx), r.dtxOf(ctx))
 	}
 	ctx.beginRes = res
-	r.eng.AfterHandle(res.Overhead, ctx.hBeginAct)
+	eng.AfterHandle(res.Overhead, ctx.hBeginAct)
 }
 
 // decChoiceOf maps a begin action to its decision-trace choice.
@@ -822,7 +1044,7 @@ func (r *Runner) decOnBegin(ctx *threadCtx, res sched.BeginResult) {
 	}
 	choice := decChoiceOf(res.Action)
 	rec := decision.Record{
-		Time:       r.eng.Now(),
+		Time:       ctx.lane.eng.Now(),
 		BeginIndex: ctx.beginIndex,
 		Tid:        int32(ctx.tid),
 		Stx:        int32(ctx.desc.STx),
@@ -846,13 +1068,13 @@ func (r *Runner) decOnBegin(ctx *threadCtx, res sched.BeginResult) {
 	}
 	tok := ctx.dec.Add(rec)
 	ctx.decSerTok = tok
-	ctx.decSerStart = r.eng.Now()
+	ctx.decSerStart = ctx.lane.eng.Now()
 	if tok < 0 || len(ctx.decSer) >= predWaitCap {
 		return
 	}
-	if wtx := r.sys.ActiveTx(enemy); wtx != nil {
+	if wtx := ctx.dom.sys.ActiveTx(enemy); wtx != nil {
 		//bfgts:pin-handoff finishCommit settles and unpins every decSer entry
-		r.sys.Pin(wtx)
+		ctx.dom.sys.Pin(wtx)
 		ctx.decSer = append(ctx.decSer, pendingSer{tok: tok, wtx: wtx})
 	}
 }
@@ -873,10 +1095,10 @@ func (r *Runner) actOnBegin(ctx *threadCtx) {
 		r.emit(ctx, trace.KSuspend, res.WaitDTx, r.stxOfDTx(res.WaitDTx), 0)
 		r.recordPredWait(ctx, res.WaitDTx)
 		ctx.resume = ctx.contTryBegin
-		r.mac.ThreadYield(ctx.th)
+		ctx.lane.mac.ThreadYield(ctx.th)
 	case sched.Block:
 		ctx.resume = ctx.contTryBegin
-		r.mac.ThreadBlock(ctx.th)
+		ctx.lane.mac.ThreadBlock(ctx.th)
 	}
 }
 
@@ -887,25 +1109,26 @@ func (r *Runner) actOnBegin(ctx *threadCtx) {
 // begin overhead); waiting it out without re-running the predictor keeps
 // the announce window from draining confidence through repeated suspends.
 func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
-	if !r.sys.Active(waitDTx) {
+	eng := ctx.lane.eng
+	if !ctx.dom.sys.Active(waitDTx) {
 		const recheck = 30
 		ctx.th.Charge(CatScheduling, recheck)
 		if grace > 0 {
 			ctx.spinTarget = waitDTx
 			ctx.spinGrace = grace - 1
-			r.eng.AfterHandle(recheck, ctx.hBeginSpin)
+			eng.AfterHandle(recheck, ctx.hBeginSpin)
 		} else {
 			// Stale announcement (the transaction ended or never started):
 			// re-execute TX_BEGIN.
-			r.eng.AfterHandle(recheck, ctx.hTryBegin)
+			eng.AfterHandle(recheck, ctx.hTryBegin)
 		}
 		return
 	}
 	ctx.state = stBeginSpin
 	ctx.waitGen++
 	ctx.waitDTx = waitDTx
-	ctx.chargeMark = r.eng.Now()
-	r.beginWaiters[waitDTx] = append(r.beginWaiters[waitDTx], ctx)
+	ctx.chargeMark = eng.Now()
+	ctx.dom.beginWaiters[waitDTx] = append(ctx.dom.beginWaiters[waitDTx], ctx)
 	r.scheduleBeginSpinCheck(ctx, ctx.waitGen)
 }
 
@@ -916,11 +1139,12 @@ func (r *Runner) beginSpin(ctx *threadCtx, waitDTx, grace int) {
 // against the generation at schedule time, not whatever the ctx holds when
 // it fires.
 func (r *Runner) scheduleBeginSpinCheck(ctx *threadCtx, gen uint64) {
-	wait := ctx.th.dispatchedAt + r.mac.Costs.Quantum - r.eng.Now()
+	eng := ctx.lane.eng
+	wait := ctx.th.dispatchedAt + ctx.lane.mac.Costs.Quantum - eng.Now()
 	if wait < 1 {
 		wait = 1
 	}
-	r.eng.AfterArgHandle(wait, ctx.hSpinCheck, gen)
+	eng.AfterArgHandle(wait, ctx.hSpinCheck, gen)
 }
 
 // beginSpinCheck is the preemption check while spinning at begin.
@@ -929,35 +1153,35 @@ func (r *Runner) beginSpinCheck(ctx *threadCtx, gen uint64) {
 		return
 	}
 	r.chargeSpin(ctx, CatScheduling)
-	if r.mac.ShouldPreempt(ctx.th) {
+	if ctx.lane.mac.ShouldPreempt(ctx.th) {
 		// The OS timer preempts the spinner; on redispatch it re-executes
 		// TX_BEGIN.
 		ctx.state = stIdle
 		ctx.waitGen++
 		r.dropBeginWaiter(ctx)
 		ctx.resume = ctx.contTryBegin
-		r.mac.Preempt(ctx.th)
+		ctx.lane.mac.Preempt(ctx.th)
 		return
 	}
 	r.scheduleBeginSpinCheck(ctx, gen)
 }
 
 func (r *Runner) dropBeginWaiter(ctx *threadCtx) {
-	ws := r.beginWaiters[ctx.waitDTx]
+	ws := ctx.dom.beginWaiters[ctx.waitDTx]
 	for i, c := range ws {
 		if c == ctx {
-			r.beginWaiters[ctx.waitDTx] = append(ws[:i], ws[i+1:]...)
+			ctx.dom.beginWaiters[ctx.waitDTx] = append(ws[:i], ws[i+1:]...)
 			return
 		}
 	}
 }
 
 // chargeSpin charges the elapsed spin interval to a category and resets
-// the mark. It reads simNow, not the engine clock: the remote-doom hook
+// the mark. It reads nowFor, not the engine clock: the remote-doom hook
 // can charge a victim's spin from underneath a horizon-batched access,
 // where the logical time is ahead of the engine.
 func (r *Runner) chargeSpin(ctx *threadCtx, cat Category) {
-	now := r.simNow()
+	now := r.nowFor(ctx)
 	d := now - ctx.chargeMark
 	if d > 0 {
 		ctx.th.Charge(cat, d)
@@ -971,7 +1195,7 @@ func (r *Runner) chargeSpin(ctx *threadCtx, cat Category) {
 // startTx begins the hardware transaction.
 func (r *Runner) startTx(ctx *threadCtx) {
 	dtx := r.dtxOf(ctx)
-	ctx.tx = r.sys.Begin(ctx.tid, ctx.desc.STx, dtx)
+	ctx.tx = ctx.dom.sys.Begin(ctx.tid, ctx.desc.STx, dtx)
 	ctx.attempts++
 	ctx.accIdx = 0
 	ctx.txCycles = 0
@@ -980,8 +1204,8 @@ func (r *Runner) startTx(ctx *threadCtx) {
 	ctx.th.Charge(CatTx, r.cfg.TMCosts.Begin)
 	ctx.txCycles += r.cfg.TMCosts.Begin
 	r.emit(ctx, trace.KBegin, -1, -1, 0)
-	r.setSlot(r.cpuOf(ctx), dtx)
-	r.eng.AfterHandle(r.cfg.TMCosts.Begin, ctx.hStepAccess)
+	r.setSlot(ctx.dom, r.cpuOf(ctx), dtx)
+	ctx.lane.eng.AfterHandle(r.cfg.TMCosts.Begin, ctx.hStepAccess)
 }
 
 // stepAccess executes the next transactional access (or commits). With
@@ -997,6 +1221,7 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 		r.abortTx(ctx)
 		return
 	}
+	eng := ctx.lane.eng
 	if r.noBatch {
 		if ctx.accIdx >= len(ctx.desc.Accesses) {
 			r.commitTx(ctx)
@@ -1006,10 +1231,10 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 		d := ctx.gap + r.cfg.TMCosts.Access
 		ctx.th.Charge(CatTx, d)
 		ctx.txCycles += d
-		r.eng.AfterHandle(d, ctx.hAccess)
+		eng.AfterHandle(d, ctx.hAccess)
 		return
 	}
-	local := r.eng.Now()
+	local := eng.Now()
 	d := ctx.gap + r.cfg.TMCosts.Access
 	for {
 		if ctx.accIdx >= len(ctx.desc.Accesses) {
@@ -1018,14 +1243,14 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 			c := r.cfg.TMCosts.Commit
 			ctx.th.Charge(CatTx, c)
 			ctx.txCycles += c
-			r.eng.AtHandle(local+c, ctx.hCommit)
+			eng.AtHandle(local+c, ctx.hCommit)
 			return
 		}
 		t := local + d
-		// PeekTime is re-read each iteration: it is O(1) and guards the
-		// (impossible today, cheap to insure against) case of an in-batch
-		// call scheduling a new earlier event.
-		if t >= r.eng.PeekTime() {
+		// The horizon is re-read each iteration: it is O(1) per lane and
+		// guards the (impossible today, cheap to insure against) case of
+		// an in-batch call scheduling a new earlier event.
+		if t >= r.horizon(ctx.lane) {
 			// This access's completion would not precede the next event:
 			// schedule it as a real event so anything landing at the same
 			// instant keeps its (time, seq) precedence, and let
@@ -1033,27 +1258,30 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 			// the legacy path does.
 			ctx.th.Charge(CatTx, d)
 			ctx.txCycles += d
-			r.eng.AtHandle(t, ctx.hAccess)
+			eng.AtHandle(t, ctx.hAccess)
 			return
 		}
 		// The access completes strictly before any other actor can run:
 		// perform it now at logical time t. The TM is timeless, so the
 		// result is identical to evaluating it at engine time t — except
-		// for the remote-doom hook, which reads simNow (hence batchNow).
+		// for the remote-doom hook, which reads nowFor (hence batchNow).
 		ctx.th.Charge(CatTx, d)
 		ctx.txCycles += d
-		r.batchNow = t
+		ctx.lane.batchNow = t
 		acc := ctx.desc.Accesses[ctx.accIdx]
-		res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
-		r.batchNow = 0
+		res := ctx.dom.sys.Access(ctx.tx, acc.Addr, acc.Write)
+		ctx.lane.batchNow = 0
 		switch {
 		case res.OK:
 			ctx.accIdx++
-			if r.mac.ShouldPreemptAt(ctx.th, t) {
+			if sh := ctx.lane.shard; sh != nil && acc.Addr >= sh.sharedBase {
+				sh.probeShared(t, ctx.tid, acc.Addr)
+			}
+			if ctx.lane.mac.ShouldPreemptAt(ctx.th, t) {
 				// Quantum boundary: re-enter the engine at the access's
 				// completion time; postAccess performs the preemption
 				// there, as the legacy path would.
-				r.eng.AtHandle(t, ctx.hPostAccess)
+				eng.AtHandle(t, ctx.hPostAccess)
 				return
 			}
 			local = t
@@ -1062,10 +1290,10 @@ func (r *Runner) stepAccess(ctx *threadCtx) {
 			// pointer stays valid across the event because t is strictly
 			// below the horizon — no other actor runs in between.
 			ctx.batchHolder = res.Holder
-			r.eng.AtHandle(t, ctx.hBatchStall)
+			eng.AtHandle(t, ctx.hBatchStall)
 			return
 		default: // doomed by deadlock resolution
-			r.eng.AtHandle(t, ctx.hAbort)
+			eng.AtHandle(t, ctx.hAbort)
 			return
 		}
 	}
@@ -1080,10 +1308,13 @@ func (r *Runner) performAccess(ctx *threadCtx) {
 		return
 	}
 	acc := ctx.desc.Accesses[ctx.accIdx]
-	res := r.sys.Access(ctx.tx, acc.Addr, acc.Write)
+	res := ctx.dom.sys.Access(ctx.tx, acc.Addr, acc.Write)
 	switch {
 	case res.OK:
 		ctx.accIdx++
+		if sh := ctx.lane.shard; sh != nil && acc.Addr >= sh.sharedBase {
+			sh.probeShared(ctx.lane.eng.Now(), ctx.tid, acc.Addr)
+		}
 		r.postAccess(ctx)
 	case res.Holder != nil:
 		r.lineStall(ctx, res.Holder)
@@ -1107,15 +1338,16 @@ func (r *Runner) postAccess(ctx *threadCtx) {
 // sched.StallPolicy replace the default budget with their own patience
 // discipline (Polite/Karma/Timestamp).
 func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
+	eng := ctx.lane.eng
 	ctx.state = stLineStall
 	ctx.waitGen++
 	gen := ctx.waitGen
 	ctx.holder = holder
-	ctx.chargeMark = r.eng.Now()
+	ctx.chargeMark = eng.Now()
 	r.emit(ctx, trace.KStall, holder.DTx, holder.STx, 0)
 	if ctx.dec != nil {
 		ctx.decStallTok = ctx.dec.Add(decision.Record{
-			Time:     r.eng.Now(),
+			Time:     eng.Now(),
 			Tid:      int32(ctx.tid),
 			Stx:      int32(ctx.desc.STx),
 			Attempt:  int32(ctx.attempts),
@@ -1124,11 +1356,11 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 			EnemyDTx: int32(holder.DTx),
 			EnemyStx: int32(holder.STx),
 		})
-		ctx.decStallStart = r.eng.Now()
+		ctx.decStallStart = eng.Now()
 	}
-	r.stallWaiters[holder] = append(r.stallWaiters[holder], ctx)
+	ctx.dom.stallWaiters[holder] = append(ctx.dom.stallWaiters[holder], ctx)
 	budget := r.cfg.TMCosts.StallTimeout
-	if sp, ok := r.mgr.(sched.StallPolicy); ok {
+	if sp, ok := ctx.dom.mgr.(sched.StallPolicy); ok {
 		budget = sp.StallBudget(sched.StallInfo{
 			ReqTid:     ctx.tid,
 			ReqStx:     ctx.desc.STx,
@@ -1142,7 +1374,7 @@ func (r *Runner) lineStall(ctx *threadCtx, holder *tm.Tx) {
 			budget = 1
 		}
 	}
-	r.eng.AfterArgHandle(budget, ctx.hStallTimeout, gen)
+	eng.AfterArgHandle(budget, ctx.hStallTimeout, gen)
 }
 
 // stallTimeout fires when a NACKed spin exhausts its budget; the generation
@@ -1167,10 +1399,10 @@ func (r *Runner) stallTimeout(ctx *threadCtx, gen uint64) {
 }
 
 func (r *Runner) dropStallWaiter(ctx *threadCtx) {
-	ws := r.stallWaiters[ctx.holder]
+	ws := ctx.dom.stallWaiters[ctx.holder]
 	for i, c := range ws {
 		if c == ctx {
-			r.stallWaiters[ctx.holder] = append(ws[:i], ws[i+1:]...)
+			ctx.dom.stallWaiters[ctx.holder] = append(ws[:i], ws[i+1:]...)
 			return
 		}
 	}
@@ -1181,15 +1413,17 @@ func (r *Runner) decSettleStall(ctx *threadCtx, o decision.Outcome) {
 	if ctx.decStallTok < 0 {
 		return
 	}
-	ctx.dec.SetWait(ctx.decStallTok, r.simNow()-ctx.decStallStart)
+	ctx.dec.SetWait(ctx.decStallTok, r.nowFor(ctx)-ctx.decStallStart)
 	ctx.dec.Resolve(ctx.decStallTok, o, 0)
 	ctx.decStallTok = -1
 }
 
 // onTxReleased wakes every thread stalled behind tx (line stalls retry the
-// access, begin spins retry the begin).
-func (r *Runner) onTxReleased(tx *tm.Tx) {
-	for _, ctx := range r.stallWaiters[tx] {
+// access, begin spins retry the begin). Waiters are woken on their own
+// lane's engine; entangled lanes share the clock, so the +1 lands at the
+// same absolute instant regardless of which lane the committer ran on.
+func (r *Runner) onTxReleased(dom *domainState, tx *tm.Tx) {
+	for _, ctx := range dom.stallWaiters[tx] {
 		if ctx.state != stLineStall || ctx.holder != tx {
 			continue
 		}
@@ -1198,11 +1432,11 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.holder = nil
-		r.eng.AfterHandle(1, ctx.hStepAccess) // retry the same access
+		ctx.lane.eng.AfterHandle(1, ctx.hStepAccess) // retry the same access
 	}
-	delete(r.stallWaiters, tx)
+	delete(dom.stallWaiters, tx)
 
-	for _, ctx := range r.beginWaiters[tx.DTx] {
+	for _, ctx := range dom.beginWaiters[tx.DTx] {
 		if ctx.state != stBeginSpin || ctx.waitDTx != tx.DTx {
 			continue
 		}
@@ -1210,9 +1444,9 @@ func (r *Runner) onTxReleased(tx *tm.Tx) {
 		ctx.state = stIdle
 		ctx.waitGen++
 		ctx.waitDTx = core.NoTx
-		r.eng.AfterHandle(1, ctx.hTryBegin)
+		ctx.lane.eng.AfterHandle(1, ctx.hTryBegin)
 	}
-	delete(r.beginWaiters, tx.DTx)
+	delete(dom.beginWaiters, tx.DTx)
 }
 
 // onRemoteDoom is tm.System's hook: a transaction other than the requester
@@ -1230,10 +1464,11 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 	ctx.waitGen++
 	r.dropStallWaiter(ctx)
 	ctx.holder = nil
-	// Scheduled from simNow, not the engine clock: the dooming access may
+	// Scheduled from nowFor, not the engine clock: the dooming access may
 	// be executing inside another thread's horizon batch, logically ahead
-	// of the engine.
-	r.eng.AtHandle(r.simNow()+1, ctx.hAbort)
+	// of the engine. (Conflicts are domain-local, so in partitioned runs
+	// the doomer and the victim share a lane and nowFor resolves to it.)
+	ctx.lane.eng.AtHandle(r.nowFor(ctx)+1, ctx.hAbort)
 }
 
 // commitTx finishes the transaction: hardware commit, manager bookkeeping,
@@ -1241,7 +1476,7 @@ func (r *Runner) onRemoteDoom(victim *tm.Tx) {
 func (r *Runner) commitTx(ctx *threadCtx) {
 	ctx.th.Charge(CatTx, r.cfg.TMCosts.Commit)
 	ctx.txCycles += r.cfg.TMCosts.Commit
-	r.eng.AfterHandle(r.cfg.TMCosts.Commit, ctx.hCommit)
+	ctx.lane.eng.AfterHandle(r.cfg.TMCosts.Commit, ctx.hCommit)
 }
 
 // finishCommit runs once the hardware commit latency has elapsed. The
@@ -1249,6 +1484,7 @@ func (r *Runner) commitTx(ctx *threadCtx) {
 // shared by the similarity profiler and the manager's OnCommit, so the
 // commit path performs no per-commit allocation.
 func (r *Runner) finishCommit(ctx *threadCtx) {
+	dom := ctx.dom
 	tx := ctx.tx
 	size := tx.NumLines()
 	ctx.linesBuf = tx.AppendLines(ctx.linesBuf[:0])
@@ -1258,24 +1494,24 @@ func (r *Runner) finishCommit(ctx *threadCtx) {
 	}
 	r.classifyPredWaits(ctx, tx)
 	r.decOnCommit(ctx, tx)
-	r.sys.Commit(tx)
-	r.commitsPerStx[ctx.desc.STx]++
-	r.latency[ctx.desc.STx].Add(r.eng.Now() - ctx.execStart)
-	r.attempts.Add(float64(ctx.attempts))
-	r.emit(ctx, trace.KCommit, -1, -1, r.eng.Now()-ctx.execStart)
+	dom.sys.Commit(tx)
+	dom.commitsPerStx[ctx.desc.STx]++
+	dom.latency[ctx.desc.STx].Add(ctx.lane.eng.Now() - ctx.execStart)
+	dom.attempts.Add(float64(ctx.attempts))
+	r.emit(ctx, trace.KCommit, -1, -1, ctx.lane.eng.Now()-ctx.execStart)
 	ctx.tx = nil
-	r.setSlot(r.cpuOf(ctx), core.NoTx)
-	r.onTxReleased(tx)
+	r.setSlot(dom, r.cpuOf(ctx), core.NoTx)
+	r.onTxReleased(dom, tx)
 
-	overhead := r.mgr.OnCommit(ctx.tid, ctx.desc.STx, ctx.linesBuf, ctx.writesBuf, size)
-	r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, true)
+	overhead := dom.mgr.OnCommit(ctx.tid, ctx.desc.STx, ctx.linesBuf, ctx.writesBuf, size)
+	dom.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, true)
 	if ctx.desc.OnCommit != nil {
 		ctx.desc.OnCommit()
 	}
 	if overhead > 0 {
 		ctx.th.Charge(CatScheduling, overhead)
 	}
-	r.eng.AfterHandle(overhead, ctx.hPostCommit)
+	ctx.lane.eng.AfterHandle(overhead, ctx.hPostCommit)
 }
 
 // profileCommit records exact Eq. 1 similarity for Table 1, reading the
@@ -1283,6 +1519,7 @@ func (r *Runner) finishCommit(ctx *threadCtx) {
 // and recycling displaced exact sets and the Eq. 3 scratch filters so
 // profiling allocates nothing in steady state.
 func (r *Runner) profileCommit(ctx *threadCtx, size int) {
+	dom := ctx.dom
 	stx := ctx.desc.STx
 	set := ctx.getExactSet()
 	for _, a := range ctx.linesBuf {
@@ -1297,17 +1534,17 @@ func (r *Runner) profileCommit(ctx *threadCtx, size int) {
 			if sim > 1 {
 				sim = 1
 			}
-			r.simSum[stx] += sim
-			r.simCnt[stx]++
+			dom.simSum[stx] += sim
+			dom.simCnt[stx]++
 		}
-		if r.metEstErr != nil {
+		if dom.metEstErr != nil {
 			if ctx.estFA == nil {
 				// Paper filter geometry (2048 bits, 4 hashes), matching the
 				// hardware signatures the estimator runs over.
 				ctx.estFA = bloom.NewFilter(2048, bloom.DefaultHashes)
 				ctx.estFB = bloom.NewFilter(2048, bloom.DefaultHashes)
 			}
-			r.metEstErr.Observe(bloom.EstimateIntersectionErrorInto(set, prev, ctx.estFA, ctx.estFB))
+			dom.metEstErr.Observe(bloom.EstimateIntersectionErrorInto(set, prev, ctx.estFA, ctx.estFB))
 		}
 		ctx.putExactSet(prev)
 	}
@@ -1339,102 +1576,184 @@ func (r *Runner) abortTx(ctx *threadCtx) {
 	r.emit(ctx, trace.KAbort, tx.DoomedByTid*r.cfg.Workload.NumStatic()+tx.DoomedByStx, tx.DoomedByStx, 0)
 	rollback := r.cfg.TMCosts.RollbackBase + r.cfg.TMCosts.RollbackPerLine*int64(tx.NumWrites())
 	ctx.th.Charge(CatAbort, rollback)
-	r.eng.AfterHandle(rollback, ctx.hRollback)
+	ctx.lane.eng.AfterHandle(rollback, ctx.hRollback)
 }
 
 // finishAbort runs once the undo-log walk has been charged: release
 // isolation, consult the manager, and back off before retrying the begin.
 func (r *Runner) finishAbort(ctx *threadCtx) {
+	dom := ctx.dom
 	tx := ctx.tx
-	r.sys.Abort(tx)
+	dom.sys.Abort(tx)
 	ctx.tx = nil
-	r.setSlot(r.cpuOf(ctx), core.NoTx)
-	r.onTxReleased(tx)
+	r.setSlot(dom, r.cpuOf(ctx), core.NoTx)
+	r.onTxReleased(dom, tx)
 
-	ab := r.mgr.OnAbort(ctx.tid, ctx.desc.STx, tx.DoomedByTid, tx.DoomedByStx, ctx.attempts)
-	r.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
+	ab := dom.mgr.OnAbort(ctx.tid, ctx.desc.STx, tx.DoomedByTid, tx.DoomedByStx, ctx.attempts)
+	dom.mgr.OnTxEnded(ctx.tid, ctx.desc.STx, false)
 	ctx.th.Charge(CatScheduling, ab.Overhead)
 	ctx.th.Charge(CatAbort, ab.Backoff)
-	r.eng.AfterHandle(ab.Overhead+ab.Backoff, ctx.hPostAbort)
+	ctx.lane.eng.AfterHandle(ab.Overhead+ab.Backoff, ctx.hPostAbort)
+}
+
+// liveThreads is the total live-thread count across lanes.
+func (r *Runner) liveThreads() int {
+	n := 0
+	for _, ln := range r.lanes {
+		n += ln.mac.LiveThreads()
+	}
+	return n
 }
 
 // sample records one time-series point and reschedules itself via the
 // cached r.sampleFn closure. Sampling only reads manager and TM state, so
 // it cannot perturb the simulated schedule: a run with metrics enabled
-// takes the same cycle-level path as one without.
+// takes the same cycle-level path as one without. The sampler only runs
+// in single-domain modes (it reads global manager/TM state), on lane 0's
+// engine.
 func (r *Runner) sample() {
-	if r.mac.LiveThreads() == 0 {
+	if r.liveThreads() == 0 {
 		return
 	}
-	now := r.eng.Now()
-	if pr, ok := r.mgr.(sched.PressureReporter); ok {
-		r.tsPressure.Append(now, pr.MeanPressure())
+	dom := r.doms[0]
+	ln := r.lanes[0]
+	now := ln.eng.Now()
+	if pr, ok := dom.mgr.(sched.PressureReporter); ok {
+		dom.tsPressure.Append(now, pr.MeanPressure())
 	}
-	if cr, ok := r.mgr.(sched.ConfidenceReporter); ok {
-		r.tsConf.Append(now, cr.MeanConfidence())
+	if cr, ok := dom.mgr.(sched.ConfidenceReporter); ok {
+		dom.tsConf.Append(now, cr.MeanConfidence())
 	}
-	c, a := r.sys.Commits(), r.sys.Aborts()
-	dc, da := c-r.lastCommits, a-r.lastAborts
-	r.lastCommits, r.lastAborts = c, a
+	c, a := dom.sys.Commits(), dom.sys.Aborts()
+	dc, da := c-dom.lastCommits, a-dom.lastAborts
+	dom.lastCommits, dom.lastAborts = c, a
 	if dc+da > 0 {
 		const alpha = 0.3 // EWMA weight of the newest window
-		r.abortEwma = alpha*float64(da)/float64(dc+da) + (1-alpha)*r.abortEwma
+		dom.abortEwma = alpha*float64(da)/float64(dc+da) + (1-alpha)*dom.abortEwma
 	}
-	r.tsAbortRate.Append(now, r.abortEwma)
-	r.eng.After(r.sampleEvery, r.sampleFn)
+	dom.tsAbortRate.Append(now, dom.abortEwma)
+	ln.eng.After(r.sampleEvery, r.sampleFn)
 }
 
 // Run executes the simulation to completion and returns its measurements.
 func (r *Runner) Run() *Result {
-	if r.cfg.Metrics != nil {
+	if r.cfg.Metrics != nil && r.mode != modePartitioned {
 		interval := r.cfg.SampleInterval
 		if interval <= 0 {
 			interval = DefaultSampleInterval
 		}
 		r.sampleEvery = interval
 		r.sampleFn = func() { r.sample() }
-		r.eng.After(interval, r.sampleFn)
+		r.lanes[0].eng.After(interval, r.sampleFn)
 	}
-	r.mac.Start()
-	r.eng.Run(func() bool {
-		if r.cfg.MaxCycles > 0 && r.eng.Now() > r.cfg.MaxCycles {
-			r.timedOut = true
+	switch r.mode {
+	case modeSeq:
+		r.runSequential()
+	case modeEntangled:
+		r.runEntangled()
+	default:
+		r.runPartitioned()
+	}
+	return r.buildResult()
+}
+
+// runSequential is the classic single-lane driver.
+func (r *Runner) runSequential() {
+	ln := r.lanes[0]
+	r.active = ln
+	ln.mac.Start()
+	ln.eng.Run(func() bool {
+		if r.cfg.MaxCycles > 0 && ln.eng.Now() > r.cfg.MaxCycles {
+			ln.timedOut = true
 			return true
 		}
-		return r.mac.LiveThreads() == 0
+		return ln.mac.LiveThreads() == 0
 	})
-	if r.makespan == 0 {
-		r.makespan = r.eng.Now()
+}
+
+// buildResult finalizes makespan/idle accounting and assembles the Result,
+// merging per-domain accumulators deterministically when partitioned.
+func (r *Runner) buildResult() *Result {
+	var makespan int64
+	timedOut := false
+	for _, ln := range r.lanes {
+		if ln.makespan == 0 {
+			ln.makespan = ln.eng.Now()
+		}
+		if ln.makespan > makespan {
+			makespan = ln.makespan
+		}
+		timedOut = timedOut || ln.timedOut
 	}
-	r.mac.FinishIdle(r.makespan)
+	for _, ln := range r.lanes {
+		ln.mac.FinishIdle(makespan)
+	}
 
 	res := &Result{
-		ManagerName:       r.mgr.Name(),
-		WorkloadName:      r.cfg.Workload.Name(),
-		Makespan:          r.makespan,
-		Commits:           r.sys.Commits(),
-		Aborts:            r.sys.Aborts(),
-		ConflictMatrix:    r.sys.ConflictMatrix(),
-		CommitsPerStx:     r.commitsPerStx,
-		Latency:           r.latency,
-		AttemptsPerCommit: r.attempts,
-		TimedOut:          r.timedOut,
+		ManagerName:  r.doms[0].mgr.Name(),
+		WorkloadName: r.cfg.Workload.Name(),
+		Makespan:     makespan,
+		TimedOut:     timedOut,
+	}
+	if len(r.doms) == 1 {
+		dom := r.doms[0]
+		res.Commits = dom.sys.Commits()
+		res.Aborts = dom.sys.Aborts()
+		res.ConflictMatrix = dom.sys.ConflictMatrix()
+		res.CommitsPerStx = dom.commitsPerStx
+		res.Latency = dom.latency
+		res.AttemptsPerCommit = dom.attempts
+	} else {
+		nStatic := r.cfg.Workload.NumStatic()
+		res.ConflictMatrix = make([][]int64, nStatic)
+		for i := range res.ConflictMatrix {
+			res.ConflictMatrix[i] = make([]int64, nStatic)
+		}
+		res.CommitsPerStx = make([]int64, nStatic)
+		res.Latency = make([]stats.Histogram, nStatic)
+		for _, dom := range r.doms {
+			res.Commits += dom.sys.Commits()
+			res.Aborts += dom.sys.Aborts()
+			for i, row := range dom.sys.ConflictMatrix() {
+				for j, v := range row {
+					res.ConflictMatrix[i][j] += v
+				}
+			}
+			for i, v := range dom.commitsPerStx {
+				res.CommitsPerStx[i] += v
+			}
+			for i := range dom.latency {
+				res.Latency[i].Merge(&dom.latency[i])
+			}
+			res.AttemptsPerCommit.Merge(&dom.attempts)
+		}
 	}
 	for _, ctx := range r.ctxs {
 		res.Breakdown.Merge(&ctx.th.Acct)
 	}
-	res.Breakdown.Add(CatIdle, r.mac.IdleCycles())
+	for _, ln := range r.lanes {
+		res.Breakdown.Add(CatIdle, ln.mac.IdleCycles())
+	}
 	if r.cfg.ProfileSimilarity {
-		res.Similarity = make([]float64, len(r.simSum))
-		for i := range r.simSum {
-			if r.simCnt[i] > 0 {
-				res.Similarity[i] = r.simSum[i] / float64(r.simCnt[i])
+		dom := r.doms[0] // profiling is single-domain only
+		res.Similarity = make([]float64, len(dom.simSum))
+		for i := range dom.simSum {
+			if dom.simCnt[i] > 0 {
+				res.Similarity[i] = dom.simSum[i] / float64(dom.simCnt[i])
 			}
 		}
 	}
 	if r.cfg.Metrics != nil {
-		if classified := r.predTrue + r.predFalse; classified > 0 {
-			r.metPrecision.Set(float64(r.predTrue) / float64(classified))
+		if len(r.doms) > 1 {
+			r.mergeShardMetrics()
+		}
+		var predTrue, predFalse int64
+		for _, dom := range r.doms {
+			predTrue += dom.predTrue
+			predFalse += dom.predFalse
+		}
+		if classified := predTrue + predFalse; classified > 0 {
+			r.cfg.Metrics.Gauge("sim.pred.precision").Set(float64(predTrue) / float64(classified))
 		}
 		res.Metrics = r.cfg.Metrics.Snapshot()
 	}

@@ -226,6 +226,18 @@ func (s *System) Aborts() int64 { return s.aborts }
 // the raw data behind the paper's Table 1.
 func (s *System) ConflictMatrix() [][]int64 { return s.conflicts }
 
+// LineWriteHeld reports whether some active transaction holds addr's cache
+// line in its write set. Sharded runs use it as the owner-side conflict
+// check for cross-shard probe messages: shard-owned address slices are
+// only ever read from other shards (the workload.Sharder contract), so a
+// write-held line under a foreign probe is a partitioning violation.
+//
+//bfgts:allocfree
+func (s *System) LineWriteHeld(addr uint64) bool {
+	ln, ok := s.lines[addr]
+	return ok && ln.writer != nil
+}
+
 // Access performs a transactional read or write of a cache line.
 //
 //bfgts:allocfree

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestWideShardPlanContract walks every transaction of every thread and
+// checks the Sharder contract the partitioned simulator relies on: every
+// below-SharedBase access belongs to the issuing thread's own shard, every
+// at-or-above-SharedBase access is a read, and writes never reach the shared
+// region. One violated access would make a partitioned run's conflicts
+// cross lanes and silently diverge from the sequential run.
+func TestWideShardPlanContract(t *testing.T) {
+	for _, tc := range []struct{ cores, tpc, shards int }{
+		{16, 4, 2}, {16, 4, 4}, {16, 4, 8}, {8, 2, 4}, {256, 2, 16},
+	} {
+		w := NewWide(tc.cores, tc.tpc, 2000)
+		plan, ok := w.ShardPlan(tc.shards, tc.cores, tc.tpc)
+		if !ok {
+			t.Fatalf("cores=%d shards=%d: plan refused", tc.cores, tc.shards)
+		}
+		perShard := tc.cores / tc.shards
+		nThreads := tc.cores * tc.tpc
+		for tid := 0; tid < nThreads; tid++ {
+			myShard := (tid % tc.cores) / perShard
+			prog := w.NewProgram(tid, nThreads, uint64(tid)*977+1)
+			for {
+				_, desc, ok := prog.Next()
+				if !ok {
+					break
+				}
+				for _, acc := range desc.Accesses {
+					if acc.Addr >= plan.SharedBase {
+						if acc.Write {
+							t.Fatalf("cores=%d shards=%d tid=%d: write to shared region addr %#x",
+								tc.cores, tc.shards, tid, acc.Addr)
+						}
+						continue
+					}
+					if owner := plan.OwnerShard(acc.Addr); owner != myShard {
+						t.Fatalf("cores=%d shards=%d tid=%d (shard %d): private access addr %#x owned by shard %d",
+							tc.cores, tc.shards, tid, myShard, acc.Addr, owner)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideShardPlanRefusals pins the geometries ShardPlan must refuse:
+// mismatched machine shape, non-dividing shard counts, and odd
+// cores-per-shard (which would split a contention pair across shards).
+func TestWideShardPlanRefusals(t *testing.T) {
+	w := NewWide(16, 4, 1000)
+	if _, ok := w.ShardPlan(4, 8, 4); ok {
+		t.Error("accepted a plan for the wrong core count")
+	}
+	if _, ok := w.ShardPlan(4, 16, 2); ok {
+		t.Error("accepted a plan for the wrong threads-per-core")
+	}
+	if _, ok := w.ShardPlan(5, 16, 4); ok {
+		t.Error("accepted a shard count that does not divide the cores")
+	}
+	w9 := NewWide(9, 2, 1000)
+	if _, ok := w9.ShardPlan(3, 9, 2); ok {
+		t.Error("accepted an odd cores-per-shard plan that splits a pair")
+	}
+	if _, ok := w.ShardPlan(1, 16, 4); !ok {
+		t.Error("refused the trivial one-shard plan")
+	}
+	if _, ok := w.ShardPlan(8, 16, 4); !ok {
+		t.Error("refused a valid even split")
+	}
+}
+
+// TestWideDistributesTransactions checks the per-thread transaction split
+// covers the total exactly, with the remainder spread over the low tids.
+func TestWideDistributesTransactions(t *testing.T) {
+	w := NewWide(4, 2, 103)
+	total := 0
+	for tid := 0; tid < 8; tid++ {
+		prog := w.NewProgram(tid, 8, 1)
+		for {
+			_, _, ok := prog.Next()
+			if !ok {
+				break
+			}
+			total++
+		}
+	}
+	if total != 103 {
+		t.Fatalf("programs produced %d transactions, want 103", total)
+	}
+}

@@ -5,19 +5,26 @@
 # runs and across -parallel settings — so diffs against the committed copy
 # are real result changes, not noise.
 #
-# Usage: ./scripts/bench.sh [-scale 0.1] [-out BENCH_1.json]
+# Usage: ./scripts/bench.sh [-scale 0.1] [-out BENCH_1.json] [-shards N]
+#
+# -shards N runs every simulation through the sharded engine; the output
+# is byte-identical to a sequential run by contract (BENCH_5.json is
+# recorded with -shards 4 and committed equal to BENCH_4.json as the
+# artifact-level proof).
 set -eu
 cd "$(dirname "$0")/.."
 
 scale=0.1
 out=BENCH_1.json
+shards=1
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-scale) scale="$2"; shift 2 ;;
 	-out) out="$2"; shift 2 ;;
-	*) echo "usage: $0 [-scale S] [-out FILE]" >&2; exit 2 ;;
+	-shards) shards="$2"; shift 2 ;;
+	*) echo "usage: $0 [-scale S] [-out FILE] [-shards N]" >&2; exit 2 ;;
 	esac
 done
 
-go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale "$scale" -quiet -json-out "$out" >/dev/null
+go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale "$scale" -shards "$shards" -quiet -json-out "$out" >/dev/null
 go run ./scripts/jsonverify "$out"

@@ -35,6 +35,14 @@ go run ./scripts/jsonverify "$tmp"
 bloofitmp="$workdir/export-linear.json"
 go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -no-bloofi -json-out "$bloofitmp" >/dev/null
 cmp "$tmp" "$bloofitmp"
+# Sharding differential gate: the same experiment cell split across 4
+# engine shards must also be byte-identical — sharding is a host-side
+# execution strategy, never a result change. The randomized in-process
+# differentials are TestEntangledShardedMatchesSequential and
+# TestPartitionedWideMatchesSequential; this catches CLI-level drift.
+shardtmp="$workdir/export-sharded.json"
+go run ./cmd/bfgts-sim -exp speedup -seed 1 -scale 0.02 -quiet -shards 4 -json-out "$shardtmp" >/dev/null
+cmp "$tmp" "$shardtmp"
 # STM smoke: a tiny stmbench sweep must run all three contention managers
 # and emit an export that passes the same schema gate.
 stmtmp="$workdir/stm.json"
@@ -54,6 +62,7 @@ go run ./scripts/jsonverify "$chrometmp"
 # catches benchmarks that rot until release time.
 go test -run=NONE -bench='BenchmarkTxLifecycle|BenchmarkEngineChurn|BenchmarkEq3Estimate|BenchmarkSTMContended$|BenchmarkTreeProbe|BenchmarkAtomicTreeProbe|BenchmarkBFGTSPredict' \
 	-benchtime=1x ./internal/tm/ ./internal/sim/ ./internal/bloom/ ./internal/stm/ ./internal/bloofi/ ./internal/sched/ >/dev/null
+go test -run=NONE -bench='BenchmarkWideSharded' -benchtime=1x . >/dev/null
 # Fig4a wall-clock gate: the end-to-end figure run must stay within 15% of
 # the committed baseline, so batching-path regressions fail here instead of
 # rotting. The baseline is machine-specific — on other hardware either
