@@ -1,6 +1,7 @@
 // Command bfgtsvet is the repo's static-analysis gate: a go vet tool
 // running the internal/analysis suite (determinism, allocfree, pinpair,
-// metricshoist) over the module.
+// metricshoist, atomicfield, lockorder, seqlock, spsc, shardsafe,
+// directives) over the module.
 //
 // Usage:
 //
@@ -8,9 +9,11 @@
 //	go vet -vettool=/tmp/bfgtsvet ./...
 //
 // or, equivalently, `bfgtsvet ./...`, which re-execs go vet with itself as
-// the vet tool. scripts/check.sh runs it before the test phase so analyzer
-// findings fail fast. See internal/analysis/README.md for the analyzer
-// contracts and the //bfgts: directive reference.
+// the vet tool. `bfgtsvet -json ./...` emits one JSON object per finding
+// for CI annotation tooling. scripts/check.sh runs the text mode before
+// the test phase so analyzer findings fail fast. See
+// internal/analysis/README.md for the analyzer contracts and the
+// //bfgts: directive reference.
 package main
 
 import "repro/internal/analysis"

@@ -1,5 +1,5 @@
 // Package analysis is bfgtsvet's stdlib-only reimplementation of the
-// golang.org/x/tools/go/analysis vocabulary, plus the four analyzers that
+// golang.org/x/tools/go/analysis vocabulary, plus the analyzers that
 // statically enforce this repo's load-bearing invariants:
 //
 //   - determinism: no wall-clock time, no global math/rand, no unordered
@@ -14,6 +14,27 @@
 //   - metricshoist: metrics Registry lookups (Counter/Gauge/...) are
 //     construction-time only — banned inside loops and //bfgts:allocfree
 //     bodies, per the nil-is-free cached-instrument design.
+//   - atomicfield: a field reached through sync/atomic (typed atomics, or
+//     free functions taking its address) must never be read or written
+//     plainly elsewhere in the package.
+//   - lockorder: double-lock and missing-unlock on sync.Mutex/RWMutex
+//     paths, package-wide lock-acquisition-order cycles, and the
+//     //bfgts:lock-rank canonical sort-before-acquire discipline of the
+//     STM commit path.
+//   - seqlock: //bfgts:seqlock readers must load the epoch before and
+//     after the critical read, test for odd (writer-active) values, and
+//     never dereference a retained pointer before the recheck;
+//     //bfgts:seqlock-pub readers of a published double-buffer index must
+//     load it exactly once per receiver and only flip (never reset) it.
+//   - spsc: //bfgts:spsc-producer and //bfgts:spsc-consumer methods of a
+//     ring type must never both be called on the same ring identity
+//     anywhere in the package — single-ownership of each ring end.
+//   - shardsafe: managers carrying the sched.ShardSafe marker must not
+//     write package-level state or touch the cross-lane-shared Env.Rand
+//     from their methods.
+//   - directives: every //bfgts: comment must name a known directive,
+//     sit in a legal position (function doc vs line), and carry its
+//     required arguments (an ignore needs a written justification).
 //
 // The module cannot vendor x/tools, so the Analyzer/Pass/Diagnostic types
 // here mirror the x/tools API shape closely enough that the analyzers and
@@ -25,6 +46,14 @@
 //	//bfgts:ignore <analyzer> <reason>     on or directly above an offending
 //	                                       line; <analyzer> may be "all"
 //	//bfgts:pin-handoff <where>            on or directly above a Pin call
+//	//bfgts:seqlock <epochField>           on a seqlock reader's doc comment
+//	//bfgts:seqlock-pub <idxField>         on a published-index reader's doc
+//	//bfgts:spsc-producer                  on a ring type's push method
+//	//bfgts:spsc-consumer                  on a ring type's pop method
+//	//bfgts:lock-rank <slice>              on a function whose acquisition
+//	                                       loop must follow a sort of <slice>
+//	//bfgts:lock-handoff <where>           on or directly above a Lock whose
+//	                                       Unlock lives elsewhere
 package analysis
 
 import (
@@ -101,7 +130,21 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, AllocFree, PinPair, MetricsHoist}
+	return []*Analyzer{
+		Determinism, AllocFree, PinPair, MetricsHoist,
+		AtomicField, LockOrder, Seqlock, SPSC, ShardSafe, Directives,
+	}
+}
+
+// commentText returns a comment's text with any trailing analysistest
+// `// want` expectation stripped, so fixtures can assert on diagnostics
+// reported at a directive comment's own position.
+func commentText(c *ast.Comment) string {
+	text := c.Text
+	if i := strings.Index(text, " // want "); i >= 0 {
+		text = strings.TrimRight(text[:i], " \t")
+	}
+	return text
 }
 
 // ignoreSet records //bfgts:ignore directives by file and line.
@@ -112,7 +155,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//bfgts:ignore")
+				rest, ok := strings.CutPrefix(commentText(c), "//bfgts:ignore")
 				if !ok {
 					continue
 				}
@@ -158,7 +201,7 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 		return false
 	}
 	for _, c := range doc.List {
-		rest, ok := strings.CutPrefix(c.Text, "//bfgts:")
+		rest, ok := strings.CutPrefix(commentText(c), "//bfgts:")
 		if !ok {
 			continue
 		}
@@ -175,7 +218,7 @@ func lineDirective(fset *token.FileSet, f *ast.File, pos token.Pos, directive st
 	want := fset.Position(pos).Line
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, "//bfgts:")
+			rest, ok := strings.CutPrefix(commentText(c), "//bfgts:")
 			if !ok {
 				continue
 			}
@@ -230,4 +273,86 @@ func pkgFuncs(files []*ast.File, fn func(fd *ast.FuncDecl)) {
 			}
 		}
 	}
+}
+
+// directiveArgs returns the arguments of a //bfgts:<directive> comment in a
+// function's doc group, and whether the directive is present at all.
+func directiveArgs(doc *ast.CommentGroup, directive string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(commentText(c), "//bfgts:")
+		if !ok {
+			continue
+		}
+		if fields := strings.Fields(rest); len(fields) > 0 && fields[0] == directive {
+			return fields[1:], true
+		}
+	}
+	return nil, false
+}
+
+// exprPath renders an identifier/selector/index chain ("sh.out[i]" ->
+// "sh.out[]", "v.version" -> "v.version") as a stable receiver-path key.
+// Expressions outside that grammar render as "" (callers skip them).
+func exprPath(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "[]"
+		}
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprPath(e.X)
+		}
+	}
+	return ""
+}
+
+// exprContainsName reports whether the rendered path of expr mentions name
+// as one of its dot/bracket-separated components.
+func exprContainsName(expr ast.Expr, name string) bool {
+	path := exprPath(expr)
+	for _, part := range strings.FieldsFunc(path, func(r rune) bool {
+		return r == '.' || r == '[' || r == ']'
+	}) {
+		if part == name {
+			return true
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers and returns the named type of t, or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
 }

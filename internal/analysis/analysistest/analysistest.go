@@ -120,6 +120,12 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posK
 				if !ok {
 					continue
 				}
+				// An expectation may trail a directive comment on the same
+				// line ("//bfgts:bogus // want `...`"): diagnostics reported
+				// at the directive's own position need a same-line want.
+				if i := strings.Index(text, "// want "); i > 0 {
+					text = text[i+2:]
+				}
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "want ")
 				if !ok {

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestJSONDiagnosticRoundTrip pins the -json wire format: every finding
+// encodes to one line that decodes back to the identical struct, including
+// messages holding quotes, backticks, and path separators.
+func TestJSONDiagnosticRoundTrip(t *testing.T) {
+	cases := []analysis.JSONDiagnostic{
+		{File: "internal/stm/stm.go", Line: 212, Col: 9, Analyzer: "seqlock", Message: "seqlock reader read loads epoch field version 1 time(s)"},
+		{File: "a b/weird path.go", Line: 1, Col: 1, Analyzer: "directives", Message: "unknown directive //bfgts:nope; known: \"quoted\", `backticked`"},
+		{File: "", Line: 0, Col: 0, Analyzer: "", Message: ""},
+	}
+	for _, d := range cases {
+		line := d.Encode()
+		if strings.ContainsAny(line, "\n") {
+			t.Errorf("Encode(%+v) is not a single line: %q", d, line)
+		}
+		got, err := analysis.ParseJSONDiagnostic(line)
+		if err != nil {
+			t.Fatalf("ParseJSONDiagnostic(%q): %v", line, err)
+		}
+		if got != d {
+			t.Errorf("round trip changed diagnostic:\n in: %+v\nout: %+v", d, got)
+		}
+	}
+}
+
+// TestFormatDiagnosticJSON pins that the vet driver's -json output path is
+// exactly the Encode wire form (so consumers can parse either source).
+func TestFormatDiagnosticJSON(t *testing.T) {
+	pos := token.Position{Filename: "internal/sim/shard.go", Line: 42, Column: 7}
+	diag := analysis.Diagnostic{Message: "ring is used as both producer and consumer", Analyzer: "spsc"}
+
+	line := analysis.FormatDiagnostic(pos, diag, true)
+	got, err := analysis.ParseJSONDiagnostic(line)
+	if err != nil {
+		t.Fatalf("ParseJSONDiagnostic(%q): %v", line, err)
+	}
+	want := analysis.JSONDiagnostic{File: "internal/sim/shard.go", Line: 42, Col: 7, Analyzer: "spsc", Message: diag.Message}
+	if got != want {
+		t.Errorf("FormatDiagnostic json mode:\n got %+v\nwant %+v", got, want)
+	}
+
+	text := analysis.FormatDiagnostic(pos, diag, false)
+	if want := "internal/sim/shard.go:42:7: ring is used as both producer and consumer (bfgtsvet/spsc)"; text != want {
+		t.Errorf("FormatDiagnostic text mode:\n got %q\nwant %q", text, want)
+	}
+	if _, err := analysis.ParseJSONDiagnostic(text); err == nil {
+		t.Error("text-mode output unexpectedly parses as JSON")
+	}
+}

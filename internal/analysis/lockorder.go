@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder statically audits every sync.Mutex / sync.RWMutex path and the
+// STM commit path's canonical-order discipline.
+//
+// Mutex rules (applied per function, statements scanned in source order —
+// an intentionally linear approximation that matches this repo's
+// straight-line lock style):
+//
+//   - double lock: a second .Lock() (or write-Lock on an RWMutex) on a
+//     lock already held in the same function is a guaranteed self-deadlock.
+//   - missing unlock: a function whose Lock calls outnumber its Unlock
+//     calls (deferred unlocks count) leaks the lock on some path. A
+//     deliberate handoff carries //bfgts:lock-handoff <where> on or above
+//     the Lock call.
+//   - order cycles: whenever lock B is acquired while lock A is held, the
+//     package-wide acquisition graph gains edge A->B. Locks are identified
+//     by their declaration (a struct field or variable), so every instance
+//     of Runner.mu is one node. Any cycle A->...->A is a potential
+//     deadlock and every edge inside the cycle is reported.
+//
+// Canonical-order rule (the lock-free commit path): a function annotated
+// //bfgts:lock-rank <slice> promises that the loop acquiring per-entry
+// locks over <slice> (versioned-lock CompareAndSwap or Lock calls) only
+// runs after <slice> was sorted into the canonical order. The analyzer
+// requires a call to a sort-named function taking <slice> before each such
+// loop — removing the sortWrites call from Tx.commit fails here before it
+// deadlocks two real workers.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "double-lock/missing-unlock on mutex paths, package-wide lock-order cycles, and //bfgts:lock-rank sort-before-acquire",
+	Run:  runLockOrder,
+}
+
+// lockMethod classifies a method name on a mutex-typed receiver.
+type lockMethod int
+
+const (
+	lmNone lockMethod = iota
+	lmLock
+	lmUnlock
+	lmRLock
+	lmRUnlock
+)
+
+func classifyLockCall(pass *Pass, call *ast.CallExpr) (lockMethod, types.Object, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lmNone, nil, nil
+	}
+	var m lockMethod
+	switch sel.Sel.Name {
+	case "Lock":
+		m = lmLock
+	case "Unlock":
+		m = lmUnlock
+	case "RLock":
+		m = lmRLock
+	case "RUnlock":
+		m = lmRUnlock
+	default:
+		return lmNone, nil, nil
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return lmNone, nil, nil
+	}
+	if !isPkgType(tv.Type, "sync", "Mutex") && !isPkgType(tv.Type, "sync", "RWMutex") {
+		return lmNone, nil, nil
+	}
+	return m, lockObj(pass, sel.X), sel.X
+}
+
+// lockObj resolves a mutex expression to its declaration object: the
+// struct field (one node per field across all instances) or the variable.
+func lockObj(pass *Pass, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[x.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.IndexExpr:
+		return lockObj(pass, x.X)
+	case *ast.ParenExpr:
+		return lockObj(pass, x.X)
+	case *ast.StarExpr:
+		return lockObj(pass, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockObj(pass, x.X)
+		}
+	}
+	return nil
+}
+
+// lockEdge is one "to acquired while from held" observation.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) error {
+	var edges []lockEdge
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		edges = append(edges, lockScanFunc(pass, fd)...)
+	})
+
+	// Cycle detection: every edge whose endpoints reach each other is part
+	// of a deadlock-capable cycle.
+	adj := map[types.Object][]types.Object{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			pass.Reportf(e.pos, "lock order cycle: %s acquired while %s is held, but the package also acquires them in the opposite order; pick one canonical order", e.from.Name(), e.to.Name())
+		}
+	}
+	return nil
+}
+
+// lockScanFunc applies the per-function mutex rules and returns the
+// function's acquisition edges. Statements are visited in source order;
+// a held-set tracks write locks and read locks alike.
+func lockScanFunc(pass *Pass, fd *ast.FuncDecl) []lockEdge {
+	type lockCount struct {
+		locks, unlocks   int
+		rlocks, runlocks int
+		firstLock        token.Pos
+		firstRLock       token.Pos
+	}
+	counts := map[types.Object]*lockCount{}
+	var order []types.Object // deterministic reporting order
+	var held []types.Object
+	var edges []lockEdge
+	file := pass.enclosingFile(fd.Pos())
+
+	get := func(obj types.Object) *lockCount {
+		c := counts[obj]
+		if c == nil {
+			c = &lockCount{}
+			counts[obj] = c
+			order = append(order, obj)
+		}
+		return c
+	}
+	release := func(obj types.Object) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == obj {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			m, obj, _ := classifyLockCall(pass, n.Call)
+			if obj == nil {
+				return true // walk in: the defer may wrap a closure with lock calls
+			}
+			switch m {
+			case lmUnlock:
+				get(obj).unlocks++
+				release(obj)
+			case lmRUnlock:
+				get(obj).runlocks++
+				release(obj)
+			case lmLock, lmRLock:
+				// A deferred Lock is almost certainly a typo'd Unlock.
+				pass.Reportf(n.Pos(), "deferred %s acquisition in %s; defer the Unlock, not the Lock", obj.Name(), fd.Name.Name)
+			}
+			return false // the call inside was handled
+		case *ast.CallExpr:
+			m, obj, _ := classifyLockCall(pass, n)
+			if obj == nil {
+				return true
+			}
+			c := get(obj)
+			switch m {
+			case lmLock:
+				for _, h := range held {
+					if h == obj {
+						pass.Reportf(n.Pos(), "%s locked again in %s while already held: self-deadlock", obj.Name(), fd.Name.Name)
+					} else {
+						edges = append(edges, lockEdge{from: h, to: obj, pos: n.Pos()})
+					}
+				}
+				held = append(held, obj)
+				c.locks++
+				if c.firstLock == token.NoPos {
+					c.firstLock = n.Pos()
+				}
+			case lmRLock:
+				for _, h := range held {
+					if h != obj {
+						edges = append(edges, lockEdge{from: h, to: obj, pos: n.Pos()})
+					}
+				}
+				held = append(held, obj)
+				c.rlocks++
+				if c.firstRLock == token.NoPos {
+					c.firstRLock = n.Pos()
+				}
+			case lmUnlock:
+				c.unlocks++
+				release(obj)
+			case lmRUnlock:
+				c.runlocks++
+				release(obj)
+			}
+		}
+		return true
+	})
+
+	for _, obj := range order {
+		c := counts[obj]
+		if c.locks > c.unlocks && !lockHandoffOK(pass, file, fd, c.firstLock) {
+			pass.Reportf(c.firstLock, "%s has %d Lock call(s) but %d Unlock call(s) in %s; some path leaks the lock (or document with //bfgts:lock-handoff <where>)", obj.Name(), c.locks, c.unlocks, fd.Name.Name)
+		}
+		if c.rlocks > c.runlocks && !lockHandoffOK(pass, file, fd, c.firstRLock) {
+			pass.Reportf(c.firstRLock, "%s has %d RLock call(s) but %d RUnlock call(s) in %s; some path leaks the read lock (or document with //bfgts:lock-handoff <where>)", obj.Name(), c.rlocks, c.runlocks, fd.Name.Name)
+		}
+	}
+
+	checkLockRank(pass, fd)
+	return edges
+}
+
+// lockHandoffOK reports whether a //bfgts:lock-handoff directive covers the
+// acquisition at pos (on/above the line, or on the function's doc).
+func lockHandoffOK(pass *Pass, file *ast.File, fd *ast.FuncDecl, pos token.Pos) bool {
+	if pos == token.NoPos {
+		return true
+	}
+	if _, ok := directiveArgs(fd.Doc, "lock-handoff"); ok {
+		return true
+	}
+	return file != nil && lineDirective(pass.Fset, file, pos, "lock-handoff")
+}
+
+// checkLockRank enforces //bfgts:lock-rank <slice>: each loop over the
+// named slice that acquires per-entry locks must be preceded by a
+// canonical-order sort of that slice.
+func checkLockRank(pass *Pass, fd *ast.FuncDecl) {
+	args, ok := directiveArgs(fd.Doc, "lock-rank")
+	if !ok {
+		return
+	}
+	if len(args) != 1 {
+		return // arity is the directives analyzer's finding
+	}
+	name := args[0]
+
+	type sortCall struct{ pos token.Pos }
+	var sorts []sortCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = fun.Name
+		case *ast.SelectorExpr:
+			callee = fun.Sel.Name
+			if id, ok := fun.X.(*ast.Ident); ok {
+				callee = id.Name + "." + callee // sort.Slice, slices.SortFunc
+			}
+		}
+		if !strings.Contains(strings.ToLower(callee), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprContainsName(arg, name) {
+				sorts = append(sorts, sortCall{pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	sort.Slice(sorts, func(i, j int) bool { return sorts[i].pos < sorts[j].pos })
+
+	loops := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !exprContainsName(rng.X, name) || !loopAcquiresLocks(rng.Body) {
+			return true
+		}
+		loops++
+		sorted := false
+		for _, s := range sorts {
+			if s.pos < rng.Pos() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			pass.Reportf(rng.Pos(), "lock-acquisition loop over %s in %s runs before any canonical-order sort of %s; acquiring in arbitrary order deadlocks against a concurrent committer", name, fd.Name.Name, name)
+		}
+		return true
+	})
+	if loops == 0 {
+		pass.Reportf(fd.Pos(), "//bfgts:lock-rank %s on %s matches no lock-acquisition loop over %s; drop or fix the directive", name, fd.Name.Name, name)
+	}
+}
+
+// loopAcquiresLocks reports whether a loop body takes per-entry locks:
+// a CompareAndSwap (versioned-lock acquire) or a .Lock() call.
+func loopAcquiresLocks(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "CompareAndSwap" || sel.Sel.Name == "Lock" || sel.Sel.Name == "TryLock" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardSafe audits every type carrying the ShardSafe marker method (the
+// sched.ShardSafe interface's sole member). A marked manager is
+// instantiated once per PDES lane and its methods run concurrently with
+// the other lanes' copies, so:
+//
+//   - its methods must not write package-level variables — a shared
+//     counter or cache forks the lanes' decision streams apart from the
+//     sequential reference (and races);
+//   - its methods must not touch the shared Env's Rand field — draw order
+//     depends on cross-lane interleaving, which is exactly the
+//     nondeterminism the marker promises away. Per-thread state (a slice
+//     indexed by the caller's thread id, like PerThreadBackoff.jitter) is
+//     the sanctioned replacement.
+//
+// The marker is detected structurally (a ShardSafe() method declaration)
+// rather than by interface assertion, so fixtures and future packages
+// need no sched import for the rule to bite.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "types with the ShardSafe marker must not write package-level state or use the shared Env.Rand from their methods",
+	Run:  runShardSafe,
+}
+
+func runShardSafe(pass *Pass) error {
+	// Named types declaring a ShardSafe() method.
+	marked := map[*types.Named]bool{}
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || fd.Name.Name != "ShardSafe" {
+			return
+		}
+		if len(fd.Recv.List) == 1 {
+			if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok {
+				if n := namedType(tv.Type); n != nil {
+					marked[n] = true
+				}
+			}
+		}
+	})
+	if len(marked) == 0 {
+		return nil
+	}
+
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || len(fd.Recv.List) != 1 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+		if !ok {
+			return
+		}
+		n := namedType(tv.Type)
+		if n == nil || !marked[n] {
+			return
+		}
+		checkShardSafeMethod(pass, fd, n)
+	})
+	return nil
+}
+
+func checkShardSafeMethod(pass *Pass, fd *ast.FuncDecl, recv *types.Named) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if obj := pkgLevelTarget(pass, lhs); obj != nil {
+					pass.Reportf(lhs.Pos(), "ShardSafe type %s writes package-level %s in %s; lanes run this concurrently — keep state per-instance or per-thread", recv.Obj().Name(), obj.Name(), fd.Name.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := pkgLevelTarget(pass, node.X); obj != nil {
+				pass.Reportf(node.Pos(), "ShardSafe type %s writes package-level %s in %s; lanes run this concurrently — keep state per-instance or per-thread", recv.Obj().Name(), obj.Name(), fd.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			// env.Rand (or anything .Rand on an Env-typed value): the shared
+			// stream whose draw order the marker forbids depending on.
+			if node.Sel.Name != "Rand" {
+				return true
+			}
+			if xt, ok := info.Types[node.X]; ok {
+				if n := namedType(xt.Type); n != nil && n.Obj() != nil && n.Obj().Name() == "Env" {
+					pass.Reportf(node.Pos(), "ShardSafe type %s reads the shared Env.Rand in %s; draw order depends on lane interleaving — use per-thread state instead", recv.Obj().Name(), fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pkgLevelTarget resolves an assignment target to a package-level variable
+// object, walking through index/star/paren wrappers. Blank and local
+// targets return nil; so do field selectors (per-instance state is fine).
+func pkgLevelTarget(pass *Pass, lhs ast.Expr) types.Object {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// otherpkg.Global = ...: the selector itself names the var.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+						return v
+					}
+					return nil
+				}
+			}
+			// A selector whose root resolves to a package-level var is still
+			// a package-level write (pkgState.field = ...).
+			lhs = x.X
+		default:
+			return nil
+		}
+	}
+}

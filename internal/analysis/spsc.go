@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SPSC enforces single-ownership of each end of a single-producer /
+// single-consumer ring. The ring type's push method carries
+// //bfgts:spsc-producer and its pop method //bfgts:spsc-consumer; the
+// analyzer then resolves every call to either method to a ring *identity*
+// (the struct field or variable holding the ring, with indexes collapsed)
+// and reports any function from which both roles are exercised on the same
+// identity. The sharded simulator's out-rings are pushed by the owning
+// lane and popped by the peer; a refactor that drains its own out-ring
+// from the producer side would silently break the SPSC memory-ordering
+// contract long before a race test catches it.
+//
+// The check is per-function and transitive within the package: a function
+// that calls a same-package helper inherits the helper's roles, so hiding
+// the opposite-role call one level down still trips the analyzer.
+var SPSC = &Analyzer{
+	Name: "spsc",
+	Doc:  "//bfgts:spsc-producer and //bfgts:spsc-consumer methods must not both be reached for the same ring identity",
+	Run:  runSPSC,
+}
+
+type spscRole int
+
+const (
+	spscProducer spscRole = 1 << iota
+	spscConsumer
+)
+
+func (r spscRole) String() string {
+	switch r {
+	case spscProducer:
+		return "producer"
+	case spscConsumer:
+		return "consumer"
+	default:
+		return "producer+consumer"
+	}
+}
+
+// spscUse is one role exercised on one ring identity from one function.
+type spscUse struct {
+	role spscRole
+	pos  ast.Node
+}
+
+func runSPSC(pass *Pass) error {
+	// Step 1: find the annotated methods.
+	roleOf := map[types.Object]spscRole{} // method decl object -> role
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		var role spscRole
+		if hasDirective(fd.Doc, "spsc-producer") {
+			role |= spscProducer
+		}
+		if hasDirective(fd.Doc, "spsc-consumer") {
+			role |= spscConsumer
+		}
+		if role == 0 {
+			return
+		}
+		if role == spscProducer|spscConsumer {
+			pass.Reportf(fd.Pos(), "%s is annotated both spsc-producer and spsc-consumer; a method serves exactly one end of the ring", fd.Name.Name)
+			return
+		}
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			roleOf[obj] = role
+		}
+	})
+	if len(roleOf) == 0 {
+		return nil
+	}
+
+	// Step 2: per function, collect (identity -> roles) of direct annotated
+	// calls, plus the set of same-package callees (for transitive roles
+	// that are identity-less: a helper that pops its receiver's ring makes
+	// every caller a consumer of whatever ring that helper owns — we track
+	// that at the helper's identity, so transitivity only needs to merge
+	// identity->role maps up the call graph).
+	type funcInfo struct {
+		uses    map[string]spscRole
+		firstAt map[string]ast.Node // first direct annotated call per identity
+		pairAt  map[string]ast.Node // direct call that completed both roles
+		callees []types.Object
+	}
+	infos := map[types.Object]*funcInfo{}
+	declOf := map[types.Object]*ast.FuncDecl{}
+	pkgFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		obj := pass.TypesInfo.Defs[fd.Name]
+		if obj == nil {
+			return
+		}
+		declOf[obj] = fd
+		fi := &funcInfo{uses: map[string]spscRole{}, firstAt: map[string]ast.Node{}, pairAt: map[string]ast.Node{}}
+		infos[obj] = fi
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				callee := pass.TypesInfo.Uses[fun.Sel]
+				if callee == nil {
+					return true
+				}
+				if role, ok := roleOf[callee]; ok {
+					id := ringIdentity(pass, fd, fun.X)
+					prev := fi.uses[id]
+					fi.uses[id] = prev | role
+					if _, ok := fi.firstAt[id]; !ok {
+						fi.firstAt[id] = call
+					}
+					if prev != 0 && prev&role == 0 {
+						if _, ok := fi.pairAt[id]; !ok {
+							fi.pairAt[id] = call
+						}
+					}
+					return true
+				}
+				if samePkgFunc(pass, callee) {
+					fi.callees = append(fi.callees, callee)
+				}
+			case *ast.Ident:
+				callee := pass.TypesInfo.Uses[fun]
+				if callee != nil && samePkgFunc(pass, callee) {
+					fi.callees = append(fi.callees, callee)
+				}
+			}
+			return true
+		})
+	})
+
+	// Step 3: propagate identity->role maps along call edges to a fixed
+	// point (the package call graphs here are tiny), then report any
+	// identity holding both roles, at the function that completes the pair.
+	changed := true
+	for changed {
+		changed = false
+		for _, fi := range infos {
+			for _, callee := range fi.callees {
+				ci := infos[callee]
+				if ci == nil {
+					continue
+				}
+				for id, role := range ci.uses {
+					if fi.uses[id]&role != role {
+						fi.uses[id] |= role
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for obj, fi := range infos {
+		fd := declOf[obj]
+		for id, role := range fi.uses {
+			if role != spscProducer|spscConsumer {
+				continue
+			}
+			// Report at the direct call that completed the pair, or the
+			// function's first direct call when the opposite role arrived via
+			// a callee. Pairs assembled purely from callees are skipped: the
+			// callee pair (or a more direct caller) already reports them.
+			at := fi.pairAt[id]
+			if at == nil {
+				at = fi.firstAt[id]
+			}
+			if at == nil {
+				continue
+			}
+			pass.Reportf(at.Pos(), "ring %s is used as both producer and consumer from %s; each end of an SPSC ring must have exactly one owner", id, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// samePkgFunc reports whether obj is a function or method of the package
+// under analysis.
+func samePkgFunc(pass *Pass, obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() == pass.Pkg
+}
+
+// ringIdentity names the ring a push/pop receiver denotes, stably across a
+// function: struct field chains keep their path with indexes collapsed
+// ("sh.out[i]" -> "sh.out[]"); a local variable is traced through simple
+// assignments/range clauses back to the expression that produced it, so
+// `r := sh.in[k]; r.pop()` and `sh.in[j].pop()` share the identity
+// "sh.in[]". Untraceable receivers collapse to the opaque identity "?",
+// which still pairs producer/consumer conservatively within a function.
+func ringIdentity(pass *Pass, fd *ast.FuncDecl, recv ast.Expr) string {
+	if id, ok := unwrapIdent(recv); ok {
+		if src := traceLocal(pass, fd, id); src != "" {
+			return canonRoot(pass, fd, src)
+		}
+	}
+	if path := exprPath(recv); path != "" {
+		return canonRoot(pass, fd, path)
+	}
+	return "?"
+}
+
+// canonRoot replaces the leading variable name of a path with the name of
+// its (named) type when one resolves, so "sh.out[]" from one method and
+// "s.out[]" from another share the identity "shard.out[]". Paths whose
+// root type cannot be resolved keep the variable name.
+func canonRoot(pass *Pass, fd *ast.FuncDecl, path string) string {
+	root, rest, _ := strings.Cut(path, ".")
+	base := strings.TrimSuffix(root, "[]")
+	var typeName string
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if typeName != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != base {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if n := namedType(v.Type()); n != nil && n.Obj() != nil {
+				typeName = n.Obj().Name()
+			}
+		}
+		return true
+	})
+	if typeName == "" {
+		return path
+	}
+	out := typeName + strings.TrimPrefix(root, base)
+	if rest != "" {
+		out += "." + rest
+	}
+	return out
+}
+
+func unwrapIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// traceLocal resolves a local identifier to the path of the expression
+// assigned to it ("r := sh.in[k]" -> "sh.in[]", "for _, r := range sh.out"
+// -> "sh.out[]"). Returns "" when the identifier is not a traceable local
+// (e.g. a method receiver or parameter — its own name is then identity
+// enough within the function).
+func traceLocal(pass *Pass, fd *ast.FuncDecl, id *ast.Ident) string {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	result := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := pass.TypesInfo.Defs[lid]
+				if lobj == nil {
+					lobj = pass.TypesInfo.Uses[lid]
+				}
+				if lobj != obj {
+					continue
+				}
+				if path := exprPath(n.Rhs[i]); path != "" {
+					result = path
+				}
+			}
+		case *ast.RangeStmt:
+			vid, ok := n.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			vobj := pass.TypesInfo.Defs[vid]
+			if vobj == nil {
+				vobj = pass.TypesInfo.Uses[vid]
+			}
+			if vobj != obj {
+				return true
+			}
+			if path := exprPath(n.X); path != "" {
+				result = path + "[]"
+			}
+		}
+		return true
+	})
+	return result
+}

@@ -1,0 +1,124 @@
+// Package lockorder is the analysistest fixture for the lockorder
+// analyzer: double-lock, missing-unlock, package-wide order cycles, and
+// the //bfgts:lock-rank sort-before-acquire discipline.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type registry struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func okBalanced(r *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}
+
+func okEarlyReturn(r *registry) int {
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return 0
+	}
+	r.mu.Unlock()
+	return r.n
+}
+
+func badDouble(r *registry) {
+	r.mu.Lock()
+	r.mu.Lock() // want `mu locked again in badDouble while already held: self-deadlock`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func badLeak(r *registry) {
+	r.mu.Lock() // want `mu has 1 Lock call\(s\) but 0 Unlock call\(s\) in badLeak`
+	r.n++
+}
+
+//bfgts:lock-handoff released by the caller via put
+func okHandoff(r *registry) {
+	r.mu.Lock()
+	r.n++
+}
+
+func badReadLeak(r *registry) int {
+	r.rw.RLock() // want `rw has 1 RLock call\(s\) but 0 RUnlock call\(s\) in badReadLeak`
+	return r.n
+}
+
+func okRead(r *registry) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+func badDeferTypo(r *registry) {
+	defer r.mu.Lock() // want `deferred mu acquisition in badDeferTypo; defer the Unlock, not the Lock`
+	r.n++
+}
+
+func okDeferredClosure(r *registry) {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+	}()
+	r.n++
+}
+
+func badOrderForward(r *registry, a *account) {
+	r.mu.Lock()
+	a.mu.Lock() // want `lock order cycle: mu acquired while mu is held`
+	a.bal++
+	a.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func badOrderReverse(r *registry, a *account) {
+	a.mu.Lock()
+	r.mu.Lock() // want `lock order cycle: mu acquired while mu is held`
+	r.n++
+	r.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type entry struct {
+	mu  sync.Mutex
+	key int
+}
+
+//bfgts:lock-rank writes
+func okRanked(writes []*entry) {
+	sort.Slice(writes, func(i, j int) bool { return writes[i].key < writes[j].key })
+	for _, w := range writes {
+		w.mu.Lock()
+	}
+	for _, w := range writes {
+		w.mu.Unlock()
+	}
+}
+
+//bfgts:lock-rank writes
+func badUnranked(writes []*entry) {
+	for _, w := range writes { // want `lock-acquisition loop over writes in badUnranked runs before any canonical-order sort`
+		w.mu.Lock()
+		w.key++
+		w.mu.Unlock()
+	}
+}
+
+//bfgts:lock-rank writes
+func badDeadRank(n int) int { // want `//bfgts:lock-rank writes on badDeadRank matches no lock-acquisition loop`
+	return n + 1
+}

@@ -1,0 +1,93 @@
+// Package seqlock is the analysistest fixture for the seqlock analyzer:
+// //bfgts:seqlock retry readers and //bfgts:seqlock-pub published-index
+// readers.
+package seqlock
+
+import "sync/atomic"
+
+type cell struct {
+	version atomic.Uint64
+	val     atomic.Pointer[int]
+	data    int
+}
+
+//bfgts:seqlock version
+func okRead(c *cell) (int, bool) {
+	v1 := c.version.Load()
+	if v1&1 == 1 {
+		return 0, false
+	}
+	p := c.val.Load()
+	if c.version.Load() != v1 {
+		return 0, false
+	}
+	return *p, true
+}
+
+//bfgts:seqlock version
+func badSingleLoad(c *cell) int { // want `loads epoch field version 1 time\(s\)` `never compares version against a recorded value` `never tests version for odd`
+	v1 := c.version.Load()
+	_ = v1
+	return c.data
+}
+
+//bfgts:seqlock version
+func badEarlyDeref(c *cell) (int, bool) {
+	v1 := c.version.Load()
+	if v1&1 == 1 {
+		return 0, false
+	}
+	p := c.val.Load()
+	out := *p // want `dereferences p loaded at the start of the critical section without rechecking version in between`
+	if c.version.Load() != v1 {
+		return 0, false
+	}
+	return out, true
+}
+
+//bfgts:seqlock version
+func badFailedDeref(c *cell) (int, bool) {
+	v1 := c.version.Load()
+	if v1&1 == 1 {
+		return 0, false
+	}
+	p := c.val.Load()
+	if c.version.Load() != v1 {
+		return *p, false // want `dereferences p on the failed version-check path`
+	}
+	return *p, true
+}
+
+type node struct {
+	cur  atomic.Uint32
+	pair [2][]byte
+}
+
+//bfgts:seqlock-pub cur
+func okProbe(n *node) []byte {
+	return n.pair[n.cur.Load()]
+}
+
+//bfgts:seqlock-pub cur
+func okRepublish(n *node) {
+	cur := n.cur.Load()
+	n.pair[1-cur] = n.pair[1-cur][:0]
+	n.cur.Store(1 - cur)
+}
+
+//bfgts:seqlock-pub cur
+func badDoubleLoad(n *node) int {
+	a := len(n.pair[n.cur.Load()])
+	b := len(n.pair[n.cur.Load()]) // want `published index n\.cur loaded 2 times in badDoubleLoad`
+	return a + b
+}
+
+//bfgts:seqlock-pub cur
+func badReset(n *node) {
+	n.cur.Store(0) // want `published index cur stored without deriving from its loaded value in badReset`
+}
+
+//bfgts:seqlock-pub cur
+func badDeadPub(n *node) int { // want `never loads or stores cur; drop or fix the directive`
+	return len(n.pair[0])
+}

@@ -1,0 +1,60 @@
+// Package shardsafe is the analysistest fixture for the shardsafe
+// analyzer: types carrying the ShardSafe marker method must not write
+// package-level state or draw from the shared Env.Rand.
+package shardsafe
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+// Env models the simulator environment shared across lanes.
+type Env struct {
+	Rand *rng
+	Seed uint64
+}
+
+var sharedHits int
+
+type goodMgr struct {
+	jitter []uint64
+}
+
+func (m *goodMgr) ShardSafe() {}
+
+func (m *goodMgr) wait(tid int) uint64 {
+	m.jitter[tid] = m.jitter[tid]*2862933555777941757 + 3037000493
+	return m.jitter[tid]
+}
+
+func (m *goodMgr) seed(env *Env) uint64 {
+	return env.Seed // reading non-Rand Env fields is fine
+}
+
+type badMgr struct{}
+
+func (m *badMgr) ShardSafe() {}
+
+func (m *badMgr) bump() {
+	sharedHits++ // want `ShardSafe type badMgr writes package-level sharedHits in bump`
+}
+
+func (m *badMgr) set(n int) {
+	sharedHits = n // want `ShardSafe type badMgr writes package-level sharedHits in set`
+}
+
+func (m *badMgr) draw(env *Env) uint64 {
+	return env.Rand.next() // want `ShardSafe type badMgr reads the shared Env\.Rand in draw`
+}
+
+type unmarked struct{}
+
+func (u *unmarked) bump() {
+	sharedHits++ // no marker: package state is its own business
+}
+
+func (u *unmarked) draw(env *Env) uint64 {
+	return env.Rand.next()
+}

@@ -1,0 +1,82 @@
+// Package spsc is the analysistest fixture for the spsc analyzer: each
+// ring identity may be pushed from producer roles and popped from consumer
+// roles, but never both from the same function's reach.
+package spsc
+
+import "sync/atomic"
+
+type ring struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	buf  [8]int
+}
+
+//bfgts:spsc-producer
+func (r *ring) push(v int) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t%uint64(len(r.buf))] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+//bfgts:spsc-consumer
+func (r *ring) pop() (int, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return 0, false
+	}
+	v := r.buf[h%uint64(len(r.buf))]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+//bfgts:spsc-producer
+//bfgts:spsc-consumer
+func (r *ring) badPeek() int { // want `badPeek is annotated both spsc-producer and spsc-consumer`
+	return 0
+}
+
+type lane struct {
+	out []ring
+	in  []ring
+}
+
+func (l *lane) okSend(i, v int) {
+	l.out[i].push(v)
+}
+
+func (l *lane) okRecv(i int) (int, bool) {
+	return l.in[i].pop()
+}
+
+func (l *lane) okBothRings(i, v int) {
+	l.out[i].push(v) // out and in are distinct identities: fine
+	l.in[i].pop()
+}
+
+func (l *lane) badBothEnds(i, v int) {
+	l.out[i].push(v)
+	l.out[i].pop() // want `ring lane\.out\[\] is used as both producer and consumer from badBothEnds`
+}
+
+func (l *lane) drainOut(i int) {
+	for {
+		if _, ok := l.out[i].pop(); !ok {
+			return
+		}
+	}
+}
+
+func (l *lane) badIndirect(i, v int) {
+	l.out[i].push(v) // want `ring lane\.out\[\] is used as both producer and consumer from badIndirect`
+	l.drainOut(i)
+}
+
+func (l *lane) badViaLocal(i, v int) {
+	r := &l.in[i]
+	r.push(v)
+	r.pop() // want `ring lane\.in\[\] is used as both producer and consumer from badViaLocal`
+}

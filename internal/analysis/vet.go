@@ -62,6 +62,8 @@ var pinnedPackages = []string{
 	"internal/sched",
 	"internal/harness",
 	"internal/bloofi",
+	"internal/decision",
+	"internal/workload",
 }
 
 // isPinnedImportPath matches a package (or its test variants) against
@@ -77,13 +79,34 @@ func isPinnedImportPath(path string) bool {
 	return false
 }
 
+// jsonEnv is how -json survives the standalone mode's re-exec through the
+// go command: the child tool invocations see the environment, not the
+// original argv.
+const jsonEnv = "BFGTSVET_JSON"
+
 // VetMain is cmd/bfgtsvet's entry point. It never returns.
 func VetMain() {
 	args := os.Args[1:]
+	jsonMode := os.Getenv(jsonEnv) == "1"
+	kept := args[:0]
+	for _, arg := range args {
+		if arg == "-json" || arg == "--json" {
+			jsonMode = true
+			continue
+		}
+		kept = append(kept, arg)
+	}
+	args = kept
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
-			fmt.Printf("bfgtsvet version %s\n", selfID())
+			// The id keys go vet's result cache (which replays stderr), so
+			// the output mode must be part of it.
+			id := selfID()
+			if jsonMode {
+				id += "-json"
+			}
+			fmt.Printf("bfgtsvet version %s\n", id)
 			os.Exit(0)
 		case arg == "-flags" || arg == "--flags":
 			fmt.Println("[]")
@@ -91,7 +114,7 @@ func VetMain() {
 		}
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		diags, err := RunVetConfig(args[0], os.Stderr)
+		diags, err := RunVetConfig(args[0], os.Stderr, jsonMode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfgtsvet: %v\n", err)
 			os.Exit(2)
@@ -117,6 +140,9 @@ func VetMain() {
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
+	if jsonMode {
+		cmd.Env = append(os.Environ(), jsonEnv+"=1")
+	}
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
@@ -147,9 +173,50 @@ func selfID() string {
 	return fmt.Sprintf("v1-%x", h.Sum(nil)[:12])
 }
 
+// JSONDiagnostic is the machine-readable form of one finding, emitted one
+// JSON object per line in -json mode for CI annotation tooling.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Encode renders the diagnostic as its single-line -json wire form.
+func (d JSONDiagnostic) Encode() string {
+	b, _ := json.Marshal(d)
+	return string(b)
+}
+
+// ParseJSONDiagnostic decodes one -json output line.
+func ParseJSONDiagnostic(line string) (JSONDiagnostic, error) {
+	var d JSONDiagnostic
+	if err := json.Unmarshal([]byte(line), &d); err != nil {
+		return JSONDiagnostic{}, err
+	}
+	return d, nil
+}
+
+// FormatDiagnostic renders one finding for vet output: the classic
+// "file:line:col: message (bfgtsvet/analyzer)" form, or the JSON wire form
+// when jsonMode.
+func FormatDiagnostic(pos token.Position, d Diagnostic, jsonMode bool) string {
+	if jsonMode {
+		return JSONDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}.Encode()
+	}
+	return fmt.Sprintf("%s: %s (bfgtsvet/%s)", pos, d.Message, d.Analyzer)
+}
+
 // RunVetConfig analyzes the single package described by a go vet config
 // file, printing findings to w. It returns the number of findings.
-func RunVetConfig(cfgPath string, w io.Writer) (int, error) {
+func RunVetConfig(cfgPath string, w io.Writer, jsonMode bool) (int, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return 0, err
@@ -223,7 +290,7 @@ func RunVetConfig(cfgPath string, w io.Writer) (int, error) {
 			if strings.HasSuffix(pos.Filename, "_test.go") {
 				continue
 			}
-			fmt.Fprintf(w, "%s: %s (bfgtsvet/%s)\n", pos, d.Message, d.Analyzer)
+			fmt.Fprintln(w, FormatDiagnostic(pos, d, jsonMode))
 			count++
 		}
 	}

@@ -139,6 +139,7 @@ func (t *AtomicTree) Clear(slot int) {
 // and flips it live. Caller holds n's lock.
 //
 //bfgts:allocfree
+//bfgts:seqlock-pub cur
 func (t *AtomicTree) repair(n *atomicNode, level, pos int) {
 	cur := n.cur.Load()
 	spare := n.pair[1-cur]
@@ -280,6 +281,7 @@ func (p *AtomicProbe) Candidates() int { return p.cands }
 // matchesAny tests the suspect keys against the node's published buffer.
 //
 //bfgts:allocfree
+//bfgts:seqlock-pub cur
 func (p *AtomicProbe) matchesAny(n *atomicNode) bool {
 	f := n.pair[n.cur.Load()]
 	for _, k := range p.keys {

@@ -112,6 +112,7 @@ func (r *shardRing) grow() {
 // happens-before any pop that observes the new tail).
 //
 //bfgts:allocfree
+//bfgts:spsc-producer
 func (r *shardRing) push(m shardMsg) bool {
 	if r.buf == nil {
 		r.grow()
@@ -129,6 +130,7 @@ func (r *shardRing) push(m shardMsg) bool {
 // Consumer side only.
 //
 //bfgts:allocfree
+//bfgts:spsc-consumer
 func (r *shardRing) pop() (shardMsg, bool) {
 	h := r.head.Load()
 	if h >= r.tail.Load() {

@@ -405,6 +405,7 @@ func (m *bfgtsManager) OnCommit(worker, stx, dtx int, lines, writes []uint64, si
 // signature, and flips the spare live.
 //
 //bfgts:allocfree
+//bfgts:seqlock-pub cur
 func (m *bfgtsManager) republish(st *bfgtsStat, dtx int, lines, writes []uint64, avg float64) {
 	slot := &m.sigs[dtx]
 	cur := slot.cur.Load()
@@ -435,6 +436,7 @@ func (m *bfgtsManager) republish(st *bfgtsStat, dtx int, lines, writes []uint64,
 // pair may race its owner's next rebuild; see the type comment.
 //
 //bfgts:allocfree
+//bfgts:seqlock-pub cur
 func (m *bfgtsManager) validate(st *bfgtsStat, stx, dtx int) {
 	waited := st.waitingOn
 	st.waitingOn = core.NoTx

@@ -322,6 +322,7 @@ func (t *Tx) reset(readVersion uint64) {
 // txAbort) when a consistent view no longer exists.
 //
 //bfgts:allocfree
+//bfgts:seqlock version
 func (t *Tx) read(v *tvar) any {
 	if i := t.lookupWrite(v); i >= 0 {
 		return t.writes[i].val
@@ -491,6 +492,7 @@ func (s *System) commitBookkeeping(w *workerState, tx *Tx) {
 // commit path allocates nothing but the published value cells.
 //
 //bfgts:allocfree
+//bfgts:lock-rank writes
 func (t *Tx) commit() bool {
 	if len(t.writes) == 0 {
 		// Read-only: the read set was validated incrementally against a

@@ -18,10 +18,22 @@ trap 'rm -rf "$workdir"' EXIT
 go vet ./...
 go build ./...
 # Static-analysis gate: build the repo's own vet tool and run the analyzer
-# suite (determinism, allocfree, pinpair, metricshoist) over the module.
+# suite (determinism, allocfree, pinpair, metricshoist, atomicfield,
+# lockorder, seqlock, spsc, shardsafe, directives) over the module.
 # See internal/analysis/README.md for the contracts and //bfgts: directives.
 go build -o "$workdir/bfgtsvet" ./cmd/bfgtsvet
 go vet -vettool="$workdir/bfgtsvet" ./...
+# Concurrency lane: the partitioned-shard differentials and the AtomicTree
+# stress tests under the race detector — short mode, fresh run (-count=1 so
+# the cache never absorbs a flake), and a hard timeout, so a protocol
+# regression surfaces here in seconds even when the full suite below is
+# trimmed with -short.
+go test -race -short -count=1 -timeout 300s \
+	-run 'TestEntangledShardedMatchesSequential|TestPartitionedWideMatchesSequential|TestPartitionedRaceStress|TestShardBarrierRace|TestShardRingSPSC' \
+	./internal/sim/
+go test -race -short -count=1 -timeout 300s \
+	-run 'TestAtomicTreeMatchesTree|TestAtomicTreeRepairNoStaleBits|TestAtomicTreeConcurrentStress' \
+	./internal/bloofi/
 go test -race "$@" ./...
 # Machine-readable output round trip: generate a small export and parse it
 # back through the schema.
